@@ -1,0 +1,146 @@
+// Command verro sanitizes a video: it reads a .vvf container (and
+// optionally a tracks CSV), runs the VERRO pipeline, and writes the
+// synthetic video. Without a tracks file it runs the built-in
+// detection+tracking preprocessing first.
+//
+// Usage:
+//
+//	verro -in video.vvf [-tracks gt.csv] -out synthetic.vvf
+//	      [-f 0.1] [-eps 0] [-seed 1] [-png 0] [-laplace 0] [-no-opt]
+//
+// Either -f (flip probability) or -eps (total ε budget; converted to f
+// using the number of key frames picked on a dry run) sets the privacy
+// level; -f wins when both are given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verro"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input .vvf video (required)")
+		tracksP = flag.String("tracks", "", "object tracks CSV (optional; detected when empty)")
+		out     = flag.String("out", "synthetic.vvf", "output .vvf video")
+		f       = flag.Float64("f", 0.1, "flip probability in (0,1]")
+		eps     = flag.Float64("eps", 0, "total epsilon budget (overrides -f when > 0)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		pngN    = flag.Int("png", 0, "dump every Nth synthetic frame as PNG next to -out (0 = none)")
+		laplace = flag.Float64("laplace", 0, "epsilon' for Laplace noise on optimization statistics (0 = off)")
+		noOpt   = flag.Bool("no-opt", false, "disable key-frame optimization (use all key frames)")
+		multi   = flag.Bool("multitype", false, "sanitize each object class independently (Section 5)")
+		gifN    = flag.Int("gif", 0, "also export an animated GIF sampling every Nth frame (0 = none)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *tracksP, *out, *f, *eps, *seed, *pngN, *laplace, *noOpt, *multi, *gifN); err != nil {
+		fmt.Fprintln(os.Stderr, "verro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, tracksPath, out string, f, eps float64, seed int64, pngN int, laplace float64, noOpt, multi bool, gifN int) error {
+	video, err := verro.ReadVideo(in)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("input: %v\n", video)
+
+	var tracks *verro.TrackSet
+	if tracksPath != "" {
+		tracks, err = verro.LoadTracks(tracksPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracks: %d objects from %s\n", tracks.Len(), tracksPath)
+	} else {
+		fmt.Println("no tracks given; running detection + tracking...")
+		tracks, err = verro.DetectAndTrack(video, verro.DefaultPipelineConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracked %d objects\n", tracks.Len())
+	}
+
+	cfg := verro.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Phase1.F = f
+	cfg.Phase1.Optimize = !noOpt
+	cfg.Phase1.LaplaceEps = laplace
+	if eps > 0 {
+		// Convert the ε budget to a flip probability: dry-run Phase I at a
+		// neutral f to learn how many key frames get picked, then invert.
+		dry := cfg
+		dry.Phase2.SkipRender = true
+		dryRes, err := verro.Sanitize(video, tracks, dry)
+		if err != nil {
+			return fmt.Errorf("dry run: %w", err)
+		}
+		k := len(dryRes.Phase1.Picked)
+		conv, err := verro.FlipProbability(k, eps)
+		if err != nil {
+			return err
+		}
+		cfg.Phase1.F = conv
+		fmt.Printf("eps=%.3f over %d picked key frames -> f=%.4f\n", eps, k, conv)
+	}
+
+	var synthetic *verro.Video
+	var synthTracks *verro.TrackSet
+	if multi {
+		res, err := verro.SanitizeMultiType(video, tracks, cfg)
+		if err != nil {
+			return err
+		}
+		synthetic = res.Synthetic
+		synthTracks = res.SyntheticTracks
+		for name, p1 := range res.PerClass {
+			fmt.Printf("class %-11s eps=%.3f over %d picked key frames\n", name, p1.Epsilon, len(p1.Picked))
+		}
+	} else {
+		res, err := verro.Sanitize(video, tracks, cfg)
+		if err != nil {
+			return err
+		}
+		synthetic = res.Synthetic
+		synthTracks = res.SyntheticTracks
+		fmt.Printf("sanitized: eps=%.3f, phase1=%v phase2=%v\n",
+			res.Epsilon, res.Phase1Time.Round(1e6), res.Phase2Time.Round(1e6))
+	}
+	fmt.Printf("%d/%d objects retained\n", synthTracks.Len(), tracks.Len())
+
+	n, err := verro.WriteVideo(out, synthetic)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%.2f MB)\n", out, float64(n)/(1<<20))
+
+	if pngN > 0 {
+		dir := out + "-frames"
+		count := 0
+		for k := 0; k < synthetic.Len(); k += pngN {
+			path := filepath.Join(dir, fmt.Sprintf("frame%05d.png", k))
+			if err := synthetic.Frame(k).WritePNG(path); err != nil {
+				return err
+			}
+			count++
+		}
+		fmt.Printf("wrote %d PNG frames to %s\n", count, dir)
+	}
+	if gifN > 0 {
+		gifPath := out + ".gif"
+		if err := synthetic.WriteGIF(gifPath, gifN); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", gifPath)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module verro
+
+go 1.22

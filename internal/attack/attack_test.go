@@ -1,0 +1,173 @@
+package attack
+
+import (
+	"testing"
+
+	"verro/internal/blur"
+	"verro/internal/core"
+	"verro/internal/geom"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+func testScene(t *testing.T) *scene.Generated {
+	t.Helper()
+	p := scene.Preset{
+		Name: "atk", W: 128, H: 96, Frames: 60, Objects: 8,
+		FPS: 30, Style: scene.StyleSquare, Class: scene.Pedestrian, Seed: 88,
+	}
+	g, err := scene.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestExtractKnowledge(t *testing.T) {
+	g := testScene(t)
+	tr := g.Truth.Tracks[0]
+	k, err := ExtractKnowledge(g.Video, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Appearance) == 0 {
+		t.Fatal("no appearance histogram")
+	}
+	first, last, _ := tr.Span()
+	if k.FirstFrame != first || k.LastFrame != last {
+		t.Fatalf("span %d-%d, want %d-%d", k.FirstFrame, k.LastFrame, first, last)
+	}
+	if _, err := ExtractKnowledge(g.Video, motio.NewTrack(99, "x")); err == nil {
+		t.Fatal("empty track should fail")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	if got := intervalOverlap(0, 9, 0, 9); got != 1 {
+		t.Fatalf("identical = %v", got)
+	}
+	if got := intervalOverlap(0, 9, 20, 29); got != 0 {
+		t.Fatalf("disjoint = %v", got)
+	}
+	if got := intervalOverlap(0, 9, 5, 14); got <= 0 || got >= 1 {
+		t.Fatalf("partial = %v", got)
+	}
+}
+
+// TestReidentificationOnIdentityVideo: attacking the *unsanitized* video
+// must succeed almost always — this validates the adversary itself.
+func TestReidentificationOnIdentityVideo(t *testing.T) {
+	g := testScene(t)
+	res, err := Reidentify(g.Video, g.Truth, g.Video, g.Truth,
+		SameID(g.Truth), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top1 < 0.8 {
+		t.Fatalf("self re-identification should be near-perfect: %v", res)
+	}
+}
+
+// TestBlurDoesNotStopTheAdversary: the paper's central criticism of the
+// traditional model — blur hides pixels but trajectories and timing leak.
+func TestBlurDoesNotStopTheAdversary(t *testing.T) {
+	g := testScene(t)
+	blurred, err := blur.Sanitize(g.Video, g.Truth, blur.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Reidentify(g.Video, g.Truth, blurred, g.Truth,
+		SameID(g.Truth), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Top1 < 0.6 {
+		t.Fatalf("blurred video should still be highly re-identifiable: %v", res)
+	}
+	if res.Top1 <= res.RandomBaseline*2 {
+		t.Fatalf("blur attack should beat random easily: %v", res)
+	}
+}
+
+// TestVerroResistsTheAdversary: against VERRO the adversary should do far
+// worse than against blur — close to the random baseline.
+func TestVerroResistsTheAdversary(t *testing.T) {
+	g := testScene(t)
+	cfg := core.DefaultConfig()
+	cfg.Phase1.F = 0.5
+	res, err := core.Sanitize(g.Video, g.Truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atk, err := Reidentify(g.Video, g.Truth, res.Synthetic, res.SyntheticTracks,
+		IndexMapping(), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blurred, err := blur.Sanitize(g.Video, g.Truth, blur.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blurAtk, err := Reidentify(g.Video, g.Truth, blurred, g.Truth,
+		SameID(g.Truth), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Top1 >= blurAtk.Top1 {
+		t.Fatalf("VERRO (%v) should resist better than blur (%v)", atk, blurAtk)
+	}
+	_ = atk.String()
+}
+
+func TestRankValidation(t *testing.T) {
+	g := testScene(t)
+	if _, err := Rank(nil, g.Video, g.Truth, DefaultWeights()); err == nil {
+		t.Fatal("nil knowledge should fail")
+	}
+}
+
+func TestRankOrdersByScore(t *testing.T) {
+	g := testScene(t)
+	k, err := ExtractKnowledge(g.Video, g.Truth.Tracks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := Rank(k, g.Video, g.Truth, DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	// Scores and components in [0, 1] (within numeric slack).
+	for _, c := range ranked {
+		if c.Score < -1e-9 || c.Score > 1+1e-9 {
+			t.Fatalf("score out of range: %+v", c)
+		}
+	}
+}
+
+func TestReidentifyEmptyCandidates(t *testing.T) {
+	g := testScene(t)
+	empty := motio.NewTrackSet()
+	res, err := Reidentify(g.Video, g.Truth, g.Video, empty,
+		SameID(g.Truth), DefaultWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Targets != 0 || res.Top1 != 0 {
+		t.Fatalf("no candidates should mean no targets scored: %+v", res)
+	}
+}
+
+func TestKnowledgeOutOfRangeFrames(t *testing.T) {
+	v := vid.New("short", 16, 16, 30)
+	tr := motio.NewTrack(1, "pedestrian")
+	tr.Set(100, geom.RectAt(2, 2, 4, 8))
+	if _, err := ExtractKnowledge(v, tr); err == nil {
+		t.Fatal("track beyond video should fail")
+	}
+}

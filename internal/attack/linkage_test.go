@@ -1,0 +1,93 @@
+package attack
+
+import (
+	"testing"
+
+	"verro/internal/core"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+// twoCameraScenes renders the SAME population (same palette indices, i.e.
+// the same "clothing") in two different scenes — the multi-camera setting.
+func twoCameraScenes(t *testing.T) (a, b *scene.Generated) {
+	t.Helper()
+	pa := scene.Preset{
+		Name: "camA", W: 96, H: 72, Frames: 40, Objects: 6,
+		FPS: 30, Style: scene.StyleSquare, Class: scene.Pedestrian, Seed: 501,
+	}
+	pb := pa
+	pb.Name = "camB"
+	pb.Style = scene.StyleStreet
+	// Same Seed keeps Palette(ID) colors aligned between the two videos:
+	// object i wears the same colors in both cameras.
+	ga, err := scene.Generate(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := scene.Generate(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ga, gb
+}
+
+func TestLinkageSucceedsOnRawFootage(t *testing.T) {
+	ga, gb := twoCameraScenes(t)
+	n := minInt(ga.Truth.Len(), gb.Truth.Len())
+	res, err := LinkAcrossCameras(ga.Video, ga.Truth, gb.Video, gb.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 || res.Pairs > n {
+		t.Fatalf("pairs = %d", res.Pairs)
+	}
+	if res.Correct < 0.6 {
+		t.Fatalf("appearance linkage on raw footage should mostly succeed: %v", res)
+	}
+	_ = res.String()
+}
+
+func TestLinkageBrokenByVerro(t *testing.T) {
+	ga, gb := twoCameraScenes(t)
+	cfg := core.DefaultConfig()
+	cfg.Phase1.F = 0.3
+	joint, err := core.SanitizeJoint(
+		[]*vid.Video{ga.Video, gb.Video},
+		[]*motio.TrackSet{ga.Truth, gb.Truth},
+		20, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := LinkAcrossCameras(ga.Video, ga.Truth, gb.Video, gb.Truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	san, err := LinkAcrossCameras(
+		joint.Results[0].Synthetic, joint.Results[0].SyntheticTracks,
+		joint.Results[1].Synthetic, joint.Results[1].SyntheticTracks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic recoloring gives each camera's objects independent colors,
+	// so appearance linkage should collapse towards chance.
+	if san.Correct >= raw.Correct {
+		t.Fatalf("VERRO should break linkage: raw %v vs sanitized %v", raw, san)
+	}
+}
+
+func TestLinkageValidation(t *testing.T) {
+	ga, _ := twoCameraScenes(t)
+	empty := motio.NewTrackSet()
+	if _, err := LinkAcrossCameras(ga.Video, empty, ga.Video, empty); err == nil {
+		t.Fatal("no tracks should fail")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

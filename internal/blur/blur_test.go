@@ -1,0 +1,167 @@
+package blur
+
+import (
+	"testing"
+
+	"verro/internal/geom"
+	"verro/internal/img"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+func testScene(t *testing.T) (*vid.Video, *motio.TrackSet) {
+	t.Helper()
+	p := scene.Preset{
+		Name: "blur-test", W: 96, H: 72, Frames: 20, Objects: 3,
+		FPS: 30, Style: scene.StyleSquare, Class: scene.Pedestrian, Seed: 77,
+	}
+	g, err := scene.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Video, g.Truth
+}
+
+func TestSanitizeBlursObjectRegions(t *testing.T) {
+	v, tracks := testScene(t)
+	out, err := Sanitize(v, tracks, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != v.Len() {
+		t.Fatalf("frames = %d", out.Len())
+	}
+	// Inside an object box, pixels must have changed; far away, untouched.
+	changedSomewhere := false
+	for _, tr := range tracks.Tracks {
+		for k, b := range tr.Boxes {
+			orig := v.Frame(k)
+			got := out.Frame(k)
+			diff := 0
+			for y := b.Min.Y; y < b.Max.Y; y++ {
+				for x := b.Min.X; x < b.Max.X; x++ {
+					if orig.At(x, y) != got.At(x, y) {
+						diff++
+					}
+				}
+			}
+			if diff > 0 {
+				changedSomewhere = true
+			}
+		}
+	}
+	if !changedSomewhere {
+		t.Fatal("no object region was modified")
+	}
+	// A corner pixel far from all objects should be identical.
+	if v.Frame(0).At(0, 0) != out.Frame(0).At(0, 0) {
+		t.Fatal("blur leaked outside object regions")
+	}
+}
+
+func TestSanitizeDoesNotMutateInput(t *testing.T) {
+	v, tracks := testScene(t)
+	before := v.Frame(5).Clone()
+	if _, err := Sanitize(v, tracks, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Frame(5).Equal(before) {
+		t.Fatal("input video was modified")
+	}
+}
+
+func TestModes(t *testing.T) {
+	v, tracks := testScene(t)
+	for _, mode := range []Mode{ModeBlur, ModePixelate, ModeBlackout} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		out, err := Sanitize(v, tracks, cfg)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if out.Len() != v.Len() {
+			t.Fatalf("mode %d: frames = %d", mode, out.Len())
+		}
+	}
+	// Blackout paints pure black inside boxes.
+	cfg := Config{Mode: ModeBlackout}
+	out, err := Sanitize(v, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range tracks.Tracks {
+		for k, b := range tr.Boxes {
+			c := out.Frame(k).At(b.Center().X, b.Center().Y)
+			if c != (img.RGB{}) {
+				t.Fatalf("blackout center = %v", c)
+			}
+			break
+		}
+		break
+	}
+}
+
+func TestSanitizeValidation(t *testing.T) {
+	if _, err := Sanitize(nil, motio.NewTrackSet(), DefaultConfig()); err == nil {
+		t.Fatal("nil video should fail")
+	}
+	v := vid.New("x", 8, 8, 30)
+	if _, err := Sanitize(v, motio.NewTrackSet(), DefaultConfig()); err == nil {
+		t.Fatal("empty video should fail")
+	}
+	_ = v.Append(img.New(8, 8))
+	if _, err := Sanitize(v, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil tracks should fail")
+	}
+}
+
+func TestBlurReducesDetail(t *testing.T) {
+	// A high-contrast checker region should lose variance when blurred.
+	v := vid.New("c", 40, 40, 30)
+	f := img.New(40, 40)
+	for y := 10; y < 30; y++ {
+		for x := 10; x < 30; x++ {
+			if (x+y)%2 == 0 {
+				f.Set(x, y, img.RGB{R: 255, G: 255, B: 255})
+			}
+		}
+	}
+	_ = v.Append(f)
+	tracks := motio.NewTrackSet()
+	tr := motio.NewTrack(1, "pedestrian")
+	tr.Set(0, geom.RectAt(10, 10, 20, 20))
+	tracks.Add(tr)
+
+	out, err := Sanitize(v, tracks, Config{Mode: ModeBlur, Radius: 2, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After blurring a fine checkerboard, mid-gray should dominate.
+	c := out.Frame(0).At(20, 20)
+	if c.R < 60 || c.R > 200 {
+		t.Fatalf("blurred checker should be mid-gray, got %v", c)
+	}
+}
+
+func TestPixelateFlattensBlocks(t *testing.T) {
+	v := vid.New("p", 40, 40, 30)
+	f := img.New(40, 40)
+	f.AddNoise(120, 5)
+	_ = v.Append(f)
+	tracks := motio.NewTrackSet()
+	tr := motio.NewTrack(1, "pedestrian")
+	tr.Set(0, geom.RectAt(8, 8, 16, 16))
+	tracks.Add(tr)
+	out, err := Sanitize(v, tracks, Config{Mode: ModePixelate, Radius: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pixels within one cell must be identical. Boxes are dilated by
+	// Dilate=0 here, so the cell starting at (8,8) spans 8 pixels.
+	a := out.Frame(0).At(9, 9)
+	b := out.Frame(0).At(14, 14)
+	if a != b {
+		t.Fatalf("pixelated cell not constant: %v vs %v", a, b)
+	}
+}

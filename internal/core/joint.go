@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"verro/internal/motio"
+	"verro/internal/vid"
+)
+
+// JointResult is the output of SanitizeJoint: one sanitized video per
+// camera plus composed privacy accounting.
+type JointResult struct {
+	Results []*Result
+	// Epsilon is the sequential-composition bound for an object that
+	// appears in EVERY camera: Σ_c ε_c. An adversary who links synthetic
+	// videos across cameras faces at most this budget per object (paper
+	// conclusion: "explore rigorous protection for objects which can be
+	// tracked in multiple videos").
+	Epsilon float64
+	// PerCamera lists each camera's own ε.
+	PerCamera []float64
+}
+
+// SanitizeJoint sanitizes several cameras' videos of (potentially) the
+// same population with a shared total budget: totalEps is split equally
+// across cameras, each camera's flip probability is derived from its own
+// dimension-reduced key-frame count via a dry run, and the composed ε is
+// reported. Each camera's output on its own satisfies its per-camera
+// ε-Object Indistinguishability; the composition bound covers adversaries
+// that join all outputs.
+func SanitizeJoint(videos []*vid.Video, tracks []*motio.TrackSet, totalEps float64, cfg Config) (*JointResult, error) {
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("core: no videos")
+	}
+	if len(videos) != len(tracks) {
+		return nil, fmt.Errorf("core: %d videos but %d track sets", len(videos), len(tracks))
+	}
+	if totalEps <= 0 {
+		return nil, fmt.Errorf("core: total epsilon %v must be positive", totalEps)
+	}
+	perCamEps := totalEps / float64(len(videos))
+
+	out := &JointResult{}
+	for i, v := range videos {
+		camCfg := cfg
+		camCfg.Seed = cfg.Seed + int64(i)*7919
+
+		// Dry run (tracks only) to learn how many key frames this camera's
+		// optimizer picks, then invert ε → f for that K.
+		dry := camCfg
+		dry.Phase2.SkipRender = true
+		dryRes, err := Sanitize(v, tracks[i], dry)
+		if err != nil {
+			return nil, fmt.Errorf("core: camera %d dry run: %w", i, err)
+		}
+		k := len(dryRes.Phase1.Picked)
+		f, err := flipForBudget(k, perCamEps)
+		if err != nil {
+			return nil, fmt.Errorf("core: camera %d: %w", i, err)
+		}
+		camCfg.Phase1.F = f
+
+		res, err := Sanitize(v, tracks[i], camCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: camera %d: %w", i, err)
+		}
+		out.Results = append(out.Results, res)
+		out.PerCamera = append(out.PerCamera, res.Epsilon)
+		out.Epsilon += res.Epsilon
+	}
+	return out, nil
+}
+
+// flipForBudget converts a per-camera ε budget over k picked key frames to
+// the Equation 4 flip probability, clamped into (0, 1]. Large budgets per
+// frame drive f towards 0, which Equation 4 forbids (f = 0 is infinite ε),
+// hence the lower clamp.
+func flipForBudget(k int, eps float64) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("no key frames picked")
+	}
+	f := 2 / (math.Exp(eps/float64(k)) + 1)
+	if f <= 1e-6 {
+		f = 1e-6
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"verro/internal/geom"
+	"verro/internal/inpaint"
+	"verro/internal/keyframe"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+// MultiTypeResult is the output of SanitizeMultiType: one synthetic video
+// containing synthetic objects of every class, plus per-class diagnostics.
+type MultiTypeResult struct {
+	Synthetic       *vid.Video
+	SyntheticTracks *motio.TrackSet
+	// PerClass maps the class name to its Phase I result and ε.
+	PerClass map[string]*Phase1Result
+	// Epsilon is the worst (largest) per-class ε — each class is
+	// ε_class-indistinguishable within itself (paper Section 5).
+	Epsilon        float64
+	Phase1Time     time.Duration
+	Phase2Time     time.Duration
+	PreprocessTime time.Duration
+}
+
+// classOf maps a track's class label to the sprite family.
+func classOf(name string) scene.ObjectClass {
+	if name == scene.Vehicle.String() {
+		return scene.Vehicle
+	}
+	return scene.Pedestrian
+}
+
+// SanitizeMultiType implements the paper's multiple-object-types discussion
+// (Section 5): the track set is partitioned by class, Phase I runs
+// independently per class (so all pedestrians are mutually
+// indistinguishable and all vehicles are mutually indistinguishable), and a
+// single Phase II renders every class's synthetic objects into one output
+// video. Synthetic IDs are offset per class to stay unique.
+func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*MultiTypeResult, error) {
+	if v == nil || v.Len() == 0 {
+		return nil, fmt.Errorf("core: empty input video")
+	}
+	if tracks == nil {
+		return nil, fmt.Errorf("core: nil track set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Partition by class, preserving track order within a class.
+	classes := map[string]*motio.TrackSet{}
+	var classNames []string
+	for _, t := range tracks.Tracks {
+		set, ok := classes[t.Class]
+		if !ok {
+			set = motio.NewTrackSet()
+			classes[t.Class] = set
+			classNames = append(classNames, t.Class)
+		}
+		set.Add(t)
+	}
+	if len(classNames) == 0 {
+		return nil, fmt.Errorf("core: no objects to sanitize")
+	}
+
+	// Shared preprocessing (key frames and backgrounds are class-agnostic).
+	preStart := time.Now()
+	kfCfg := cfg.Keyframe
+	if kfCfg.MaxSegmentLen == 0 {
+		kfCfg.MaxSegmentLen = v.Len() / 20
+		if kfCfg.MaxSegmentLen < 1 {
+			kfCfg.MaxSegmentLen = 1
+		}
+	} else if kfCfg.MaxSegmentLen < 0 {
+		kfCfg.MaxSegmentLen = 0
+	}
+	kf, err := keyframe.Extract(v, kfCfg)
+	if err != nil {
+		return nil, err
+	}
+	step := cfg.BackgroundStep
+	if step <= 0 {
+		step = v.Len() / 40
+		if step < 1 {
+			step = 1
+		}
+	}
+	scenes, err := inpaint.ExtractScenes(v, tracks, step, cfg.Inpaint)
+	if err != nil {
+		return nil, err
+	}
+	preTime := time.Since(preStart)
+
+	res := &MultiTypeResult{
+		PerClass:       map[string]*Phase1Result{},
+		PreprocessTime: preTime,
+	}
+
+	// Phase I per class, Phase II per class (tracks only), then one shared
+	// rendering pass.
+	type classOut struct {
+		name string
+		p2   *Phase2Result
+	}
+	var outs []classOut
+	idOffset := 0
+	p1Start := time.Now()
+	for _, name := range classNames {
+		set := classes[name]
+		full := PresenceVectors(set, v.Len())
+		reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
+		if err != nil {
+			return nil, err
+		}
+		p1, err := RunPhase1(reduced, kf.KeyFrames, cfg.Phase1, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 1 for class %q: %w", name, err)
+		}
+		res.PerClass[name] = p1
+		if p1.Epsilon > res.Epsilon {
+			res.Epsilon = p1.Epsilon
+		}
+
+		p2cfg := cfg.Phase2
+		p2cfg.Class = classOf(name)
+		p2cfg.SkipRender = true // tracks only; rendering happens jointly below
+		p2, err := RunPhase2(p1, kf, set, scenes, v.W, v.H, v.Len(), p2cfg, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2 for class %q: %w", name, err)
+		}
+		// Offset synthetic IDs so classes never collide.
+		for _, t := range p2.Tracks.Tracks {
+			t.ID += idOffset
+		}
+		idOffset += set.Len() + 1
+		outs = append(outs, classOut{name: name, p2: p2})
+	}
+	res.Phase1Time = time.Since(p1Start)
+
+	// Joint rendering: composite every class's synthetic tracks over the
+	// shared backgrounds, farther (smaller y) objects first.
+	p2Start := time.Now()
+	merged := motio.NewTrackSet()
+	out := vid.New(v.Name+"-verro", v.W, v.H, v.FPS)
+	out.Moving = v.Moving
+	type drawItem struct {
+		class scene.ObjectClass
+		id    int
+		box   geom.Rect
+	}
+	// Per-run random color offset; see RunPhase2 for the rationale.
+	colorOffset := rng.Intn(1 << 16)
+	for k := 0; k < v.Len(); k++ {
+		bg, err := scenes.Background(k)
+		if err != nil {
+			return nil, err
+		}
+		frame := bg.Clone()
+		var items []drawItem
+		for _, co := range outs {
+			cls := classOf(co.name)
+			for _, t := range co.p2.Tracks.Tracks {
+				if b, ok := t.Box(k); ok {
+					items = append(items, drawItem{class: cls, id: t.ID, box: b})
+				}
+			}
+		}
+		for a := 1; a < len(items); a++ {
+			for b := a; b > 0 && items[b].box.Center().Y < items[b-1].box.Center().Y; b-- {
+				items[b], items[b-1] = items[b-1], items[b]
+			}
+		}
+		for _, it := range items {
+			scene.DrawObject(frame, it.class, scene.Palette(it.id+colorOffset), it.box.CenterVec(), float64(k)*0.35)
+		}
+		if err := out.Append(frame); err != nil {
+			return nil, err
+		}
+	}
+	for _, co := range outs {
+		for _, t := range co.p2.Tracks.Tracks {
+			merged.Add(t)
+		}
+	}
+	merged.Sort()
+	res.Phase2Time = time.Since(p2Start)
+	res.Synthetic = out
+	res.SyntheticTracks = merged
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"verro/internal/geom"
+	"verro/internal/interp"
+	"verro/internal/motio"
+	"verro/internal/scene"
+)
+
+// samplesAt builds interpolation samples at the given frames (positions
+// increase with frame index).
+func samplesAt(frames ...int) []interp.Sample {
+	out := make([]interp.Sample, len(frames))
+	for i, f := range frames {
+		out[i] = interp.Sample{Frame: f, Pos: geom.V(float64(f), 1)}
+	}
+	return out
+}
+
+// mixedScene renders a scene with both pedestrians and vehicles by merging
+// two generated videos' ground truths onto one video (pedestrian preset,
+// with vehicle tracks relabelled).
+func mixedScene(t *testing.T) (*scene.Generated, *motio.TrackSet) {
+	t.Helper()
+	p := scene.Preset{
+		Name: "mixed", W: 96, H: 72, Frames: 40, Objects: 4,
+		FPS: 30, Style: scene.StyleStreet, Class: scene.Pedestrian, Seed: 301,
+	}
+	g, err := scene.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relabel half of the tracks as vehicles: the pixels stay pedestrian
+	// sprites, which is fine — the sanitizer only consults the class label.
+	mixed := motio.NewTrackSet()
+	for i, tr := range g.Truth.Tracks {
+		c := tr.Clone()
+		if i%2 == 1 {
+			c.Class = scene.Vehicle.String()
+		}
+		mixed.Add(c)
+	}
+	return g, mixed
+}
+
+func TestSanitizeMultiType(t *testing.T) {
+	g, mixed := mixedScene(t)
+	cfg := DefaultConfig()
+	cfg.Keyframe.MaxSegmentLen = 8
+	res, err := SanitizeMultiType(g.Video, mixed, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Synthetic.Len() != g.Video.Len() {
+		t.Fatalf("synthetic frames = %d", res.Synthetic.Len())
+	}
+	if len(res.PerClass) != 2 {
+		t.Fatalf("classes = %d, want 2", len(res.PerClass))
+	}
+	for name, p1 := range res.PerClass {
+		if p1.Epsilon <= 0 {
+			t.Fatalf("class %q epsilon = %v", name, p1.Epsilon)
+		}
+	}
+	if res.Epsilon <= 0 {
+		t.Fatal("missing overall epsilon")
+	}
+	// Synthetic IDs must be unique across classes.
+	seen := map[int]bool{}
+	for _, tr := range res.SyntheticTracks.Tracks {
+		if seen[tr.ID] {
+			t.Fatalf("duplicate synthetic ID %d", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+	// Both classes should usually survive at f=0.1.
+	classes := map[string]int{}
+	for _, tr := range res.SyntheticTracks.Tracks {
+		classes[tr.Class]++
+	}
+	if len(classes) == 0 {
+		t.Fatal("no synthetic objects at all")
+	}
+}
+
+func TestSanitizeMultiTypeValidation(t *testing.T) {
+	g, _ := mixedScene(t)
+	if _, err := SanitizeMultiType(nil, motio.NewTrackSet(), DefaultConfig()); err == nil {
+		t.Fatal("nil video should fail")
+	}
+	if _, err := SanitizeMultiType(g.Video, nil, DefaultConfig()); err == nil {
+		t.Fatal("nil tracks should fail")
+	}
+	if _, err := SanitizeMultiType(g.Video, motio.NewTrackSet(), DefaultConfig()); err == nil {
+		t.Fatal("no objects should fail")
+	}
+}
+
+func TestSanitizeMultiTypeSingleClassMatchesRegularShape(t *testing.T) {
+	g, _ := mixedScene(t)
+	cfg := DefaultConfig()
+	cfg.Keyframe.MaxSegmentLen = 8
+	res, err := SanitizeMultiType(g.Video, g.Truth, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerClass) != 1 {
+		t.Fatalf("single-class input produced %d classes", len(res.PerClass))
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if classOf("vehicle") != scene.Vehicle {
+		t.Fatal("vehicle class not recognized")
+	}
+	if classOf("pedestrian") != scene.Pedestrian || classOf("anything") != scene.Pedestrian {
+		t.Fatal("default class should be pedestrian")
+	}
+}
+
+func TestSplitRuns(t *testing.T) {
+	samples := samplesAt(0, 5, 10, 50, 55, 200)
+	runs := splitRuns(samples, 20)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	if len(runs[0]) != 3 || len(runs[1]) != 2 || len(runs[2]) != 1 {
+		t.Fatalf("run sizes wrong: %d %d %d", len(runs[0]), len(runs[1]), len(runs[2]))
+	}
+	if splitRuns(nil, 10) != nil {
+		t.Fatal("empty samples should be nil")
+	}
+	one := splitRuns(samplesAt(7), 10)
+	if len(one) != 1 || len(one[0]) != 1 {
+		t.Fatal("single sample should be one run")
+	}
+}
+
+func TestPickedSpacing(t *testing.T) {
+	p1 := &Phase1Result{KeyFrames: []int{0, 10, 20, 30}, Picked: []int{0, 3}}
+	if got := pickedSpacing(p1, 100); got != 30 {
+		t.Fatalf("spacing = %d, want 30", got)
+	}
+	single := &Phase1Result{KeyFrames: []int{5}, Picked: []int{0}}
+	if got := pickedSpacing(single, 100); got != 100 {
+		t.Fatalf("single-pick spacing = %d", got)
+	}
+	if got := pickedSpacing(&Phase1Result{}, 0); got != 1 {
+		t.Fatalf("degenerate spacing = %d", got)
+	}
+}
+
+func TestDrawCoordinatesSmoothness(t *testing.T) {
+	// A returning object should be matched to the nearest candidate.
+	rng := rand.New(rand.NewSource(1))
+	who := []int{0, 1}
+	pool := []geom.Vec{{X: 10, Y: 10}, {X: 100, Y: 100}}
+	lastPos := []geom.Vec{{X: 12, Y: 12}, {}}
+	hasLast := []bool{true, false}
+	out, err := drawCoordinates(who, pool, lastPos, hasLast, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != pool[0] {
+		t.Fatalf("returning object matched %v, want nearest %v", out[0], pool[0])
+	}
+	if out[1] != pool[1] {
+		t.Fatalf("new object should take the remaining candidate, got %v", out[1])
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"verro/internal/ldp"
+	"verro/internal/lp"
+)
+
+// Phase1Config tunes the optimal-object-presence phase.
+type Phase1Config struct {
+	// F is the Equation 4 flip probability in (0, 1]; the per-run privacy
+	// level follows as ε = K·ln((2−f)/f) over the K picked key frames.
+	F float64
+	// Optimize enables the Section 3.3 key-frame selection (OPT). When
+	// false every key frame receives budget — the "dimension reduction
+	// only" ablation.
+	Optimize bool
+	// LaplaceEps, when positive, perturbs the per-key-frame object counts
+	// with Laplace(1/LaplaceEps) noise before the optimization
+	// (Section 3.3.3). Zero disables the noise.
+	LaplaceEps float64
+	// MinPicked is the lower cardinality bound of Equation 8; the paper
+	// requires at least 2 so Phase II can interpolate. Values below 2 are
+	// raised to 2.
+	MinPicked int
+	// DensityFraction positions the pick threshold relative to the mean
+	// per-key-frame object count: frames with at least
+	// DensityFraction×mean objects receive budget. 0 means the default
+	// 0.5, which retains the large majority of objects while skipping
+	// near-empty frames.
+	DensityFraction float64
+}
+
+// DefaultPhase1Config mirrors the paper's default run: f = 0.1, OPT on.
+func DefaultPhase1Config() Phase1Config {
+	return Phase1Config{F: 0.1, Optimize: true, MinPicked: 2}
+}
+
+// Phase1Result captures everything Phase I produced.
+type Phase1Result struct {
+	KeyFrames []int // the ℓ key frame indices (video frame numbers)
+	Picked    []int // indices into KeyFrames chosen for budget allocation
+	// Reduced are the ℓ-bit presence vectors B'_i.
+	Reduced []ldp.BitVector
+	// Optimal are the vectors restricted to picked frames (B*_i): entries
+	// at unpicked frames are forced to 0.
+	Optimal []ldp.BitVector
+	// Output are the randomized vectors R_i (still ℓ-bit; entries at
+	// unpicked frames are 0).
+	Output []ldp.BitVector
+	// Epsilon is the achieved ε-Object Indistinguishability level.
+	Epsilon float64
+	// F echoes the flip probability used.
+	F float64
+}
+
+// PickedSet reports, per key-frame index, whether it was picked.
+func (r *Phase1Result) PickedSet() []bool {
+	out := make([]bool, len(r.KeyFrames))
+	for _, p := range r.Picked {
+		if p >= 0 && p < len(out) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// ErrNoKeyFrames is returned when Phase I receives no key frames.
+var ErrNoKeyFrames = errors.New("core: no key frames")
+
+// RunPhase1 executes Phase I over the reduced presence vectors.
+//
+// The key-frame selection objective follows the paper's Equations 7-9:
+// picking frame k trades the spurious-presence noise of random response
+// against losing the ones_k objects present there. Equation 9 normalizes
+// the noise term per frame (both terms carry the factor f), so the
+// per-frame pick cost is f·(density − ones_k), where density is the mean
+// object count over key frames: frames carrying at least average presence
+// are worth a budget share, sparse frames are not. This keeps the selection
+// stable across f (the paper observes f "only slightly affects the
+// optimization") and prevents the trivial collapse a population-scaled
+// threshold (n·f/2) causes on sparse videos. The BIP is solved by LP
+// relaxation and rounding under the Equation 8 cardinality constraints
+// 2 ≤ Σx_k ≤ ℓ.
+func RunPhase1(reduced []ldp.BitVector, keyFrames []int, cfg Phase1Config, rng *rand.Rand) (*Phase1Result, error) {
+	ell := len(keyFrames)
+	if ell == 0 {
+		return nil, ErrNoKeyFrames
+	}
+	if cfg.F <= 0 || cfg.F > 1 {
+		return nil, fmt.Errorf("core: flip probability %v outside (0,1]", cfg.F)
+	}
+	for i, v := range reduced {
+		if len(v) != ell {
+			return nil, fmt.Errorf("core: vector %d has %d bits, want %d", i, len(v), ell)
+		}
+	}
+	if cfg.MinPicked < 2 {
+		cfg.MinPicked = 2
+	}
+	if cfg.MinPicked > ell {
+		cfg.MinPicked = ell
+	}
+
+	n := len(reduced)
+	counts := KeyFrameCounts(reduced)
+	if counts == nil {
+		counts = make([]int, ell)
+	}
+
+	// Optionally perturb the counts for end-to-end indistinguishability of
+	// the optimization statistics (Section 3.3.3, sensitivity Δ = 1).
+	noisy := make([]float64, ell)
+	for k, c := range counts {
+		noisy[k] = float64(c)
+	}
+	if cfg.LaplaceEps > 0 {
+		var err error
+		noisy, err = ldp.NoisyCounts(counts, 1, cfg.LaplaceEps, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Key-frame selection.
+	picked := make([]int, 0, ell)
+	if cfg.Optimize && ell > cfg.MinPicked {
+		frac := cfg.DensityFraction
+		if frac <= 0 {
+			frac = 0.5
+		}
+		var density float64
+		for _, c := range noisy {
+			density += c
+		}
+		density /= float64(ell)
+		costs := make([]float64, ell)
+		for k := 0; k < ell; k++ {
+			costs[k] = cfg.F * (frac*density - noisy[k])
+		}
+		res, err := lp.SolveBinary(costs, cfg.MinPicked, ell)
+		if err != nil {
+			return nil, fmt.Errorf("core: key-frame optimization: %w", err)
+		}
+		for k, x := range res.X {
+			if x == 1 {
+				picked = append(picked, k)
+			}
+		}
+	} else {
+		for k := 0; k < ell; k++ {
+			picked = append(picked, k)
+		}
+	}
+
+	// Restrict vectors to the picked frames (B*).
+	pickedSet := make([]bool, ell)
+	for _, p := range picked {
+		pickedSet[p] = true
+	}
+	optimal := make([]ldp.BitVector, n)
+	for i, v := range reduced {
+		b := ldp.NewBitVector(ell)
+		for k := range v {
+			if pickedSet[k] && v[k] {
+				b[k] = true
+			}
+		}
+		optimal[i] = b
+	}
+
+	// Random response on the picked entries only.
+	output := make([]ldp.BitVector, n)
+	for i, v := range optimal {
+		r := ldp.NewBitVector(ell)
+		for k := 0; k < ell; k++ {
+			if !pickedSet[k] {
+				continue
+			}
+			bit := ldp.BitVector{v[k]}
+			flipped, err := ldp.RAPPORFlip(bit, cfg.F, rng)
+			if err != nil {
+				return nil, err
+			}
+			r[k] = flipped[0]
+		}
+		output[i] = r
+	}
+
+	eps, err := ldp.Epsilon(len(picked), cfg.F)
+	if err != nil {
+		return nil, err
+	}
+	return &Phase1Result{
+		KeyFrames: append([]int(nil), keyFrames...),
+		Picked:    picked,
+		Reduced:   reduced,
+		Optimal:   optimal,
+		Output:    output,
+		Epsilon:   eps,
+		F:         cfg.F,
+	}, nil
+}
+
+// NaiveRandomResponse is the Algorithm 1 baseline: classic per-frame
+// randomized response over the full m-bit vectors with total budget eps
+// split equally — the scheme whose poor utility motivates VERRO.
+func NaiveRandomResponse(full []ldp.BitVector, eps float64, rng *rand.Rand) ([]ldp.BitVector, error) {
+	out := make([]ldp.BitVector, len(full))
+	for i, v := range full {
+		r, err := ldp.ClassicRR(v, eps, rng)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}

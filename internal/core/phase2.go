@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verro/internal/assign"
+	"verro/internal/geom"
+	"verro/internal/inpaint"
+	"verro/internal/interp"
+	"verro/internal/keyframe"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+// Phase2Config tunes synthetic video generation.
+type Phase2Config struct {
+	// Interp selects the trajectory interpolation method. The default is
+	// the paper's Lagrange interpolation: its polynomial oscillation on
+	// scattered control points is load-bearing — positions that swing out
+	// of frame are suppressed, which is what prunes spurious (ghost)
+	// appearances at large flip probabilities (Section 6.3). MethodHybrid
+	// or MethodLinear produce smoother trajectories but inflate aggregate
+	// counts at high f.
+	Interp interp.Method
+	// Class is the synthetic sprite family to render.
+	Class scene.ObjectClass
+	// SkipRender computes the synthetic tracks (boxes and trajectories)
+	// without producing pixel data — Result.Video is nil. Parameter sweeps
+	// that only evaluate track-level utility use this to avoid the cost of
+	// rendering full videos.
+	SkipRender bool
+}
+
+// DefaultPhase2Config renders pedestrian sprites with Lagrange interpolation.
+func DefaultPhase2Config() Phase2Config {
+	return Phase2Config{Interp: interp.MethodLagrange, Class: scene.Pedestrian}
+}
+
+// Phase2Result is the generated synthetic video plus the synthetic tracks
+// (for utility evaluation — the video recipient only sees the video).
+type Phase2Result struct {
+	Video  *vid.Video
+	Tracks *motio.TrackSet
+	// Assigned records the random key-frame coordinates given to each
+	// object index (before interpolation) — the Figure 5 "before Phase II"
+	// state.
+	Assigned [][]interp.Sample
+	// Lost counts objects whose randomized presence vector came out empty
+	// (Section 4.2.1).
+	Lost int
+}
+
+// candidatePools builds the identity-free candidate coordinate pools of
+// Section 4.2.2: for every key frame, the center coordinates of all
+// objects present in that frame of the original video. No object identity
+// crosses this boundary — Phase II sees bare coordinates only.
+func candidatePools(tracks *motio.TrackSet, keyFrames []int) [][]geom.Vec {
+	pools := make([][]geom.Vec, len(keyFrames))
+	for j, k := range keyFrames {
+		for _, t := range tracks.Tracks {
+			if c, ok := t.Center(k); ok {
+				pools[j] = append(pools[j], c)
+			}
+		}
+	}
+	return pools
+}
+
+// expandPool widens pool j with candidate coordinates from neighbouring
+// frames of the same segment (the "insufficient candidate coordinates"
+// case), and falls back to the union of all pools, then to uniform random
+// positions, so assignment always succeeds.
+func expandPool(pool []geom.Vec, tracks *motio.TrackSet, seg keyframe.Segment, keyFrame, need int, bounds geom.Rect, rng *rand.Rand) []geom.Vec {
+	out := append([]geom.Vec(nil), pool...)
+	for d := 1; len(out) < need && (keyFrame-d >= seg.Start || keyFrame+d <= seg.End); d++ {
+		for _, k := range []int{keyFrame - d, keyFrame + d} {
+			if k < seg.Start || k > seg.End {
+				continue
+			}
+			for _, t := range tracks.Tracks {
+				if c, ok := t.Center(k); ok {
+					out = append(out, c)
+				}
+			}
+		}
+	}
+	for len(out) < need {
+		out = append(out, geom.V(
+			float64(bounds.Min.X)+rng.Float64()*float64(bounds.Dx()),
+			float64(bounds.Min.Y)+rng.Float64()*float64(bounds.Dy()),
+		))
+	}
+	return out
+}
+
+// drawCoordinates picks one pool coordinate (without replacement) for every
+// object in who. Objects with a previous draw are matched to candidates by
+// minimum total distance from that draw; first-time objects consume the
+// remaining candidates in (already shuffled) pool order.
+func drawCoordinates(who []int, pool []geom.Vec, lastPos []geom.Vec, hasLast []bool, rng *rand.Rand) ([]geom.Vec, error) {
+	out := make([]geom.Vec, len(who))
+	used := make([]bool, len(pool))
+
+	// Returning objects first: smooth continuation via min-cost matching.
+	var returning []int // indices into who
+	for idx, i := range who {
+		if hasLast[i] {
+			returning = append(returning, idx)
+		}
+	}
+	if len(returning) > 0 {
+		cost := make([][]float64, len(returning))
+		for r, idx := range returning {
+			cost[r] = make([]float64, len(pool))
+			for c, cand := range pool {
+				cost[r][c] = lastPos[who[idx]].Dist(cand)
+			}
+		}
+		rowToCol, _, err := assign.Solve(cost)
+		if err != nil {
+			return nil, err
+		}
+		for r, idx := range returning {
+			c := rowToCol[r]
+			if c < 0 { // more returning objects than candidates cannot
+				// happen (pool expanded to len(who)), but stay defensive
+				for cc := range pool {
+					if !used[cc] {
+						c = cc
+						break
+					}
+				}
+			}
+			out[idx] = pool[c]
+			used[c] = true
+		}
+	}
+
+	// First-time objects: uniform draws from the remaining candidates.
+	next := 0
+	for idx, i := range who {
+		if hasLast[i] {
+			continue
+		}
+		for next < len(pool) && used[next] {
+			next++
+		}
+		if next >= len(pool) {
+			// Defensive: duplicate a random candidate rather than fail.
+			out[idx] = pool[rng.Intn(len(pool))]
+			continue
+		}
+		out[idx] = pool[next]
+		used[next] = true
+	}
+	return out, nil
+}
+
+// pickedSpacing returns the typical frame distance between consecutive
+// picked key frames (at least 1).
+func pickedSpacing(p1 *Phase1Result, numFrames int) int {
+	if len(p1.Picked) <= 1 {
+		if numFrames < 1 {
+			return 1
+		}
+		return numFrames
+	}
+	span := p1.KeyFrames[p1.Picked[len(p1.Picked)-1]] - p1.KeyFrames[p1.Picked[0]]
+	s := span / (len(p1.Picked) - 1)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// splitRuns partitions time-ordered samples into runs whose consecutive
+// frame gaps never exceed maxGap.
+func splitRuns(samples []interp.Sample, maxGap int) [][]interp.Sample {
+	if len(samples) == 0 {
+		return nil
+	}
+	var runs [][]interp.Sample
+	start := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Frame-samples[i-1].Frame > maxGap {
+			runs = append(runs, samples[start:i])
+			start = i
+		}
+	}
+	runs = append(runs, samples[start:])
+	return runs
+}
+
+// RunPhase2 generates the synthetic video from the Phase I output.
+// scenes provides the reconstructed background for every frame; kf is the
+// segmentation that produced p1.KeyFrames; tracks supplies the candidate
+// coordinates (their identities are stripped before use).
+func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
+	scenes inpaint.Scenes, w, h, numFrames int, cfg Phase2Config, rng *rand.Rand) (*Phase2Result, error) {
+
+	if p1 == nil || len(p1.Output) == 0 {
+		return nil, fmt.Errorf("core: phase 2 requires phase 1 output")
+	}
+	if numFrames <= 0 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("core: invalid synthetic geometry %dx%d×%d", w, h, numFrames)
+	}
+	bounds := geom.R(0, 0, w, h)
+	n := len(p1.Output)
+	ell := len(p1.KeyFrames)
+
+	pools := candidatePools(tracks, p1.KeyFrames)
+
+	// Per key frame (in time order), pick coordinates for the objects whose
+	// randomized bit is set. An object's *first* coordinate is a uniform
+	// draw from the pool; subsequent coordinates are matched to the pool by
+	// minimum total displacement from the object's own previous draw
+	// (Hungarian assignment). The matching reads only previous randomized
+	// draws and the identity-free pool — never the original object identity
+	// — so it is post-processing in the Theorem 4.1 sense while making
+	// synthetic trajectories follow the scene's motion flow.
+	assigned := make([][]interp.Sample, n)
+	lastPos := make([]geom.Vec, n)
+	hasLast := make([]bool, n)
+	for j := 0; j < ell; j++ {
+		var who []int
+		for i := 0; i < n; i++ {
+			if p1.Output[i][j] {
+				who = append(who, i)
+			}
+		}
+		if len(who) == 0 {
+			continue
+		}
+		segIdx := kf.SegmentOf(p1.KeyFrames[j])
+		seg := keyframe.Segment{Start: p1.KeyFrames[j], End: p1.KeyFrames[j]}
+		if segIdx >= 0 {
+			seg = kf.Segments[segIdx]
+		}
+		pool := expandPool(pools[j], tracks, seg, p1.KeyFrames[j], len(who), bounds, rng)
+		rng.Shuffle(len(pool), func(a, b int) { pool[a], pool[b] = pool[b], pool[a] })
+
+		chosen, err := drawCoordinates(who, pool, lastPos, hasLast, rng)
+		if err != nil {
+			return nil, fmt.Errorf("core: coordinate assignment at key frame %d: %w", p1.KeyFrames[j], err)
+		}
+		for idx, i := range who {
+			pos := chosen[idx]
+			assigned[i] = append(assigned[i], interp.Sample{Frame: p1.KeyFrames[j], Pos: pos})
+			lastPos[i] = pos
+			hasLast[i] = true
+		}
+	}
+
+	// Interpolate every retained object and render. An object's samples are
+	// split into runs wherever consecutive picked key frames are separated
+	// by more than maxGap frames: an isolated randomized bit far from the
+	// object's main presence cluster becomes a brief appearance rather than
+	// stretching the object across the whole video (the paper's head/end
+	// rule plus its Phase II suppression have the same effect). maxGap and
+	// the border-extension cap are both derived from the typical spacing of
+	// picked key frames — identity-free quantities.
+	spacing := pickedSpacing(p1, numFrames)
+	maxGap := 2 * spacing
+	maxExtend := spacing
+	// A run consisting of a single assigned coordinate has no motion
+	// evidence at all: the paper notes interpolation needs at least two
+	// assigned frames and that stray appearances are suppressed in
+	// Phase II. Such runs are rendered as a brief flicker around their key
+	// frame rather than extended across the segment — this is what keeps
+	// aggregate counts usable even at f = 0.9 (Section 6.3).
+	const singleExtend = 2
+
+	out := vid.New("synthetic", w, h, 0)
+	synth := motio.NewTrackSet()
+	type placed struct {
+		id  int
+		pos geom.Vec
+	}
+	perFrame := make([][]placed, numFrames)
+	lost := 0
+	for i := 0; i < n; i++ {
+		if len(assigned[i]) == 0 {
+			lost++
+			continue
+		}
+		for _, run := range splitRuns(assigned[i], maxGap) {
+			extend := maxExtend
+			if len(run) == 1 {
+				extend = singleExtend
+			}
+			frames, positions, err := interp.ExtendToBorder(cfg.Interp, run, numFrames, bounds, extend)
+			if err != nil {
+				return nil, fmt.Errorf("core: interpolate object %d: %w", i, err)
+			}
+			for idx, k := range frames {
+				p := positions[idx]
+				// Suppress positions that interpolate outside the frame
+				// (Section 6.3): the object simply does not appear there.
+				if !p.Round().In(bounds) {
+					continue
+				}
+				perFrame[k] = append(perFrame[k], placed{id: i + 1, pos: p})
+			}
+		}
+	}
+
+	// Synthetic colors are drawn from the palette at a random per-run
+	// offset: the color assigned to a synthetic object carries no
+	// information across runs or across cameras (a fixed palette would let
+	// an adversary link "the red synthetic object" between two sanitized
+	// videos of the same scene).
+	colorOffset := rng.Intn(1 << 16)
+
+	synthTracks := make(map[int]*motio.Track)
+	record := func(k, id int, box geom.Rect) {
+		vis := box.Intersect(bounds)
+		if vis.Empty() {
+			return
+		}
+		tr, ok := synthTracks[id]
+		if !ok {
+			tr = motio.NewTrack(id, cfg.Class.String())
+			synthTracks[id] = tr
+			synth.Add(tr)
+		}
+		tr.Set(k, vis)
+	}
+	for k := 0; k < numFrames; k++ {
+		// Depth-sort: draw farther (smaller y) objects first.
+		ps := perFrame[k]
+		for a := 1; a < len(ps); a++ {
+			for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
+				ps[b], ps[b-1] = ps[b-1], ps[b]
+			}
+		}
+		if cfg.SkipRender {
+			for _, pl := range ps {
+				record(k, pl.id, syntheticBox(cfg.Class, pl.pos, h))
+			}
+			continue
+		}
+		bg, err := scenes.Background(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: background for frame %d: %w", k, err)
+		}
+		if bg.W != w || bg.H != h {
+			return nil, fmt.Errorf("core: background %dx%d does not match %dx%d", bg.W, bg.H, w, h)
+		}
+		frame := bg.Clone()
+		for _, pl := range ps {
+			phase := float64(k) * 0.35
+			record(k, pl.id, scene.DrawObject(frame, cfg.Class, scene.Palette(pl.id+colorOffset), pl.pos, phase))
+		}
+		if err := out.Append(frame); err != nil {
+			return nil, err
+		}
+	}
+	synth.Sort()
+
+	res := &Phase2Result{
+		Video:    out,
+		Tracks:   synth,
+		Assigned: assigned,
+		Lost:     lost,
+	}
+	if cfg.SkipRender {
+		res.Video = nil
+	}
+	return res, nil
+}
+
+// syntheticBox computes the box a synthetic object would cover at pos
+// without rendering it — the SkipRender geometry path, kept in lockstep
+// with scene.DrawObject.
+func syntheticBox(class scene.ObjectClass, pos geom.Vec, frameH int) geom.Rect {
+	s := scene.DepthScale(pos.Y, frameH)
+	w, h := scene.SpriteSize(class, s)
+	c := pos.Round()
+	return geom.RectAt(c.X-w/2, c.Y-h/2, w, h)
+}

@@ -1,0 +1,114 @@
+// Package core implements VERRO itself: object presence vectors
+// (Definition 3.1), Phase I — dimension reduction, utility-maximizing key
+// frame selection and random response (Section 3) — and Phase II — random
+// coordinate assignment, trajectory interpolation and synthetic video
+// rendering (Section 4) — plus the end-to-end Sanitizer with its privacy
+// accounting.
+package core
+
+import (
+	"fmt"
+
+	"verro/internal/keyframe"
+	"verro/internal/ldp"
+	"verro/internal/motio"
+)
+
+// PresenceVectors builds the full m-frame presence bit vectors B_i of
+// Definition 3.1 for every object, in TrackSet order.
+func PresenceVectors(tracks *motio.TrackSet, numFrames int) []ldp.BitVector {
+	out := make([]ldp.BitVector, tracks.Len())
+	for i, t := range tracks.Tracks {
+		v := ldp.NewBitVector(numFrames)
+		for k := range t.Boxes {
+			if k >= 0 && k < numFrames {
+				v[k] = true
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// ReduceToKeyFrames projects full presence vectors onto the ℓ key frames
+// (Section 3.2): entry k of the reduced vector is the object's presence in
+// key frame ℓ_k.
+func ReduceToKeyFrames(full []ldp.BitVector, keyFrames []int) ([]ldp.BitVector, error) {
+	out := make([]ldp.BitVector, len(full))
+	for i, v := range full {
+		r := ldp.NewBitVector(len(keyFrames))
+		for j, k := range keyFrames {
+			if k < 0 || k >= len(v) {
+				return nil, fmt.Errorf("core: key frame %d outside vector of %d frames", k, len(v))
+			}
+			r[j] = v[k]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// DistinctPresent counts the vectors with at least one set bit — the
+// "count of distinct objects" utility measure of Figure 5(a,c,e).
+func DistinctPresent(vs []ldp.BitVector) int {
+	n := 0
+	for _, v := range vs {
+		if !v.Empty() {
+			n++
+		}
+	}
+	return n
+}
+
+// TruthfulPresent counts the randomized vectors that retain at least one
+// *true* presence bit: output[i][k] set where truth[i][k] was set. This is
+// the paper's "count of distinct objects" after random response — an object
+// whose only surviving bits are spurious flips carries no information about
+// the original and is counted as lost.
+func TruthfulPresent(output, truth []ldp.BitVector) int {
+	n := 0
+	for i, v := range output {
+		if i >= len(truth) {
+			break
+		}
+		for k := range v {
+			if k < len(truth[i]) && v[k] && truth[i][k] {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// KeyFrameCounts returns, per key frame, how many objects are present —
+// the Σ_i kb_i^k statistics feeding the Section 3.3 optimization.
+func KeyFrameCounts(reduced []ldp.BitVector) []int {
+	if len(reduced) == 0 {
+		return nil
+	}
+	out := make([]int, len(reduced[0]))
+	for _, v := range reduced {
+		for k, b := range v {
+			if b {
+				out[k]++
+			}
+		}
+	}
+	return out
+}
+
+// PresentInKeyFrames counts the objects visible in at least one key frame —
+// the "Remaining #" column of the paper's Table 2.
+func PresentInKeyFrames(tracks *motio.TrackSet, kf *keyframe.Result) int {
+	n := 0
+	for _, t := range tracks.Tracks {
+		for _, k := range kf.KeyFrames {
+			if t.Present(k) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

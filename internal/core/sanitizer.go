@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"verro/internal/inpaint"
+	"verro/internal/keyframe"
+	"verro/internal/motio"
+	"verro/internal/vid"
+)
+
+// Config is the end-to-end sanitizer configuration.
+type Config struct {
+	Phase1   Phase1Config
+	Phase2   Phase2Config
+	Keyframe keyframe.Config
+	Inpaint  inpaint.Config
+	// BackgroundStep subsamples frames feeding the temporal background
+	// median; 0 means an automatic stride targeting ~40 samples.
+	BackgroundStep int
+	// Seed drives all randomness in the run.
+	Seed int64
+}
+
+// DefaultConfig assembles the defaults of every stage.
+func DefaultConfig() Config {
+	return Config{
+		Phase1:   DefaultPhase1Config(),
+		Phase2:   DefaultPhase2Config(),
+		Keyframe: keyframe.DefaultConfig(),
+		Inpaint:  inpaint.DefaultConfig(),
+		Seed:     1,
+	}
+}
+
+// Result is the sanitizer output: the publishable synthetic video plus the
+// diagnostics the evaluation harness consumes.
+type Result struct {
+	Synthetic *vid.Video
+	// SyntheticTracks are the rendered synthetic objects; they exist for
+	// utility evaluation and never leave the video owner.
+	SyntheticTracks *motio.TrackSet
+	Phase1          *Phase1Result
+	Phase2          *Phase2Result
+	KeyframeResult  *keyframe.Result
+	// Epsilon is the achieved ε-Object Indistinguishability level.
+	Epsilon float64
+	// Timings of the two phases (Table 3).
+	Phase1Time, Phase2Time time.Duration
+	// PreprocessTime covers key-frame extraction and background
+	// reconstruction, reported separately as in the paper.
+	PreprocessTime time.Duration
+}
+
+// Sanitize runs the full VERRO pipeline: key-frame extraction, background
+// reconstruction, Phase I and Phase II. The input video and tracks are not
+// modified.
+func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error) {
+	if v == nil || v.Len() == 0 {
+		return nil, fmt.Errorf("core: empty input video")
+	}
+	if tracks == nil {
+		return nil, fmt.Errorf("core: nil track set")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Preprocessing: segmentation/key frames and background scene(s).
+	// MaxSegmentLen == 0 means auto: cap segments at ~1/20 of the video so
+	// static scenes still produce enough key frames for the optimizer and
+	// the Phase II interpolation (pure Algorithm 2 would otherwise collapse
+	// a static video into a single segment). Negative disables the cap.
+	preStart := time.Now()
+	kfCfg := cfg.Keyframe
+	switch {
+	case kfCfg.MaxSegmentLen == 0:
+		kfCfg.MaxSegmentLen = v.Len() / 20
+		if kfCfg.MaxSegmentLen < 1 {
+			kfCfg.MaxSegmentLen = 1
+		}
+	case kfCfg.MaxSegmentLen < 0:
+		kfCfg.MaxSegmentLen = 0
+	}
+	kf, err := keyframe.Extract(v, kfCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: key frames: %w", err)
+	}
+	var scenes inpaint.Scenes
+	if !cfg.Phase2.SkipRender {
+		step := cfg.BackgroundStep
+		if step <= 0 {
+			step = v.Len() / 40
+			if step < 1 {
+				step = 1
+			}
+		}
+		scenes, err = inpaint.ExtractScenes(v, tracks, step, cfg.Inpaint)
+		if err != nil {
+			return nil, fmt.Errorf("core: background: %w", err)
+		}
+	}
+	preTime := time.Since(preStart)
+
+	// Phase I.
+	p1Start := time.Now()
+	full := PresenceVectors(tracks, v.Len())
+	reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := RunPhase1(reduced, kf.KeyFrames, cfg.Phase1, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	p1Time := time.Since(p1Start)
+
+	// Phase II.
+	p2Start := time.Now()
+	p2, err := RunPhase2(p1, kf, tracks, scenes, v.W, v.H, v.Len(), cfg.Phase2, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	p2Time := time.Since(p2Start)
+
+	if p2.Video != nil {
+		p2.Video.Name = v.Name + "-verro"
+		p2.Video.FPS = v.FPS
+		p2.Video.Moving = v.Moving
+	}
+
+	return &Result{
+		Synthetic:       p2.Video,
+		SyntheticTracks: p2.Tracks,
+		Phase1:          p1,
+		Phase2:          p2,
+		KeyframeResult:  kf,
+		Epsilon:         p1.Epsilon,
+		Phase1Time:      p1Time,
+		Phase2Time:      p2Time,
+		PreprocessTime:  preTime,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"verro/internal/scene"
+)
+
+func TestInterpAblation(t *testing.T) {
+	d := loadTiny(t, scene.MOT01())
+	rows, err := InterpAblation(d, 0.1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 methods", len(rows))
+	}
+	for _, r := range rows {
+		if r.Deviation < 0 || r.Deviation > 1 {
+			t.Fatalf("%s deviation = %v", r.Method, r.Deviation)
+		}
+		if r.CountMAE < 0 {
+			t.Fatalf("%s MAE = %v", r.Method, r.CountMAE)
+		}
+	}
+	var buf bytes.Buffer
+	PrintInterpAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "lagrange") {
+		t.Fatal("missing ablation output")
+	}
+	PrintInterpAblation(&buf, nil) // no-op
+}
+
+func TestKeyframeAblation(t *testing.T) {
+	d := loadTiny(t, scene.MOT01())
+	rows, err := KeyframeAblation(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KeyFrames == 0 {
+			t.Fatalf("%s produced no key frames", r.Method)
+		}
+		if r.Remaining > d.Tracks.Len() {
+			t.Fatalf("%s remaining %d > objects %d", r.Method, r.Remaining, d.Tracks.Len())
+		}
+	}
+	var buf bytes.Buffer
+	PrintKeyframeAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "clustering") {
+		t.Fatal("missing key-frame ablation output")
+	}
+	PrintKeyframeAblation(&buf, nil)
+}

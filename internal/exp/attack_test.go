@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"verro/internal/scene"
+)
+
+func TestAttackComparison(t *testing.T) {
+	opt := Options{Scale: 0.15, Trials: 1, Seed: 1}
+	d, err := LoadDataset(scene.MOT01(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Attack(d, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Targets == 0 {
+		t.Fatal("no targets attacked")
+	}
+	// The adversary must be valid: near-perfect against the raw video.
+	if r.Identity < 0.8 {
+		t.Fatalf("identity attack too weak: %+v", r)
+	}
+	// Blur must not defeat the adversary; VERRO must do better than blur.
+	if r.Blur < r.Verro {
+		t.Fatalf("VERRO should resist better than blur: %+v", r)
+	}
+	if r.Random <= 0 || r.Random > 1 {
+		t.Fatalf("random baseline = %v", r.Random)
+	}
+	var buf bytes.Buffer
+	PrintAttack(&buf, r)
+	if !strings.Contains(buf.String(), "Re-identification") {
+		t.Fatal("missing attack output")
+	}
+}

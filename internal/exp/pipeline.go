@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"fmt"
+
+	"verro/internal/detect"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/track"
+)
+
+// trackObjects runs the real detection+tracking preprocessing over a
+// generated dataset.
+func trackObjects(g *scene.Generated) (*motio.TrackSet, error) {
+	step := g.Video.Len() / 40
+	if step < 1 {
+		step = 1
+	}
+	bg, err := detect.MedianBackground(g.Video.Frames, step)
+	if err != nil {
+		return nil, fmt.Errorf("exp: background model: %w", err)
+	}
+	tracks, err := track.Run(g.Video.Frames, detect.NewBGSubtractor(bg), track.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("exp: tracking: %w", err)
+	}
+	return tracks, nil
+}

@@ -1,0 +1,166 @@
+package img
+
+import (
+	"math"
+
+	"verro/internal/geom"
+)
+
+// DrawRect outlines rectangle r (clipped) with color c and the given stroke
+// thickness.
+func (m *Image) DrawRect(r geom.Rect, c RGB, thickness int) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	m.Fill(geom.R(r.Min.X, r.Min.Y, r.Max.X, r.Min.Y+thickness), c)
+	m.Fill(geom.R(r.Min.X, r.Max.Y-thickness, r.Max.X, r.Max.Y), c)
+	m.Fill(geom.R(r.Min.X, r.Min.Y, r.Min.X+thickness, r.Max.Y), c)
+	m.Fill(geom.R(r.Max.X-thickness, r.Min.Y, r.Max.X, r.Max.Y), c)
+}
+
+// DrawDisc paints a filled disc of the given radius centered at p.
+func (m *Image) DrawDisc(p geom.Point, radius int, c RGB) {
+	r2 := radius * radius
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx*dx+dy*dy <= r2 {
+				m.Set(p.X+dx, p.Y+dy, c)
+			}
+		}
+	}
+}
+
+// DrawLine draws a 1-pixel line from a to b using Bresenham's algorithm.
+func (m *Image) DrawLine(a, b geom.Point, c RGB) {
+	dx := abs(b.X - a.X)
+	dy := -abs(b.Y - a.Y)
+	sx, sy := 1, 1
+	if a.X > b.X {
+		sx = -1
+	}
+	if a.Y > b.Y {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := a.X, a.Y
+	for {
+		m.Set(x, y, c)
+		if x == b.X && y == b.Y {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+// DrawEllipse paints a filled axis-aligned ellipse inside rectangle r.
+func (m *Image) DrawEllipse(r geom.Rect, c RGB) {
+	if r.Empty() {
+		return
+	}
+	cx := float64(r.Min.X+r.Max.X-1) / 2
+	cy := float64(r.Min.Y+r.Max.Y-1) / 2
+	rx := float64(r.Dx()) / 2
+	ry := float64(r.Dy()) / 2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		for x := r.Min.X; x < r.Max.X; x++ {
+			nx := (float64(x) - cx) / rx
+			ny := (float64(y) - cy) / ry
+			if nx*nx+ny*ny <= 1 {
+				m.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// Shade multiplies every channel in region r by factor (clamped to [0, 4]),
+// a cheap way to darken or lighten parts of a scene.
+func (m *Image) Shade(r geom.Rect, factor float64) {
+	factor = geom.ClampF(factor, 0, 4)
+	r = r.Clip(m.Bounds())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		i := m.offset(r.Min.X, y)
+		for x := r.Min.X; x < r.Max.X; x++ {
+			for c := 0; c < 3; c++ {
+				v := float64(m.Pix[i+c]) * factor
+				if v > 255 {
+					v = 255
+				}
+				m.Pix[i+c] = uint8(v)
+			}
+			i += 3
+		}
+	}
+}
+
+// AddNoise perturbs every pixel channel by a deterministic pseudo-random
+// value in [-amp, amp] derived from the coordinates and seed. It gives
+// synthetic backgrounds the pixel-level texture the inpainting and key-frame
+// code need to behave realistically without requiring a shared RNG.
+func (m *Image) AddNoise(amp int, seed uint64) {
+	if amp <= 0 {
+		return
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			h := hash3(uint64(x), uint64(y), seed)
+			i := m.offset(x, y)
+			for c := 0; c < 3; c++ {
+				n := int(h>>(c*8)&0xff)%(2*amp+1) - amp
+				v := int(m.Pix[i+c]) + n
+				m.Pix[i+c] = uint8(geom.Clamp(v, 0, 255))
+			}
+		}
+	}
+}
+
+// hash3 is a small xorshift-style mixer over three words.
+func hash3(x, y, s uint64) uint64 {
+	h := x*0x9e3779b97f4a7c15 ^ y*0xc2b2ae3d27d4eb4f ^ s*0x165667b19e3779f9
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// VerticalGradient fills the image with a vertical gradient from top color
+// a to bottom color b.
+func (m *Image) VerticalGradient(a, b RGB) {
+	for y := 0; y < m.H; y++ {
+		t := 0.0
+		if m.H > 1 {
+			t = float64(y) / float64(m.H-1)
+		}
+		c := RGB{
+			R: lerp8(a.R, b.R, t),
+			G: lerp8(a.G, b.G, t),
+			B: lerp8(a.B, b.B, t),
+		}
+		i := m.offset(0, y)
+		for x := 0; x < m.W; x++ {
+			m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
+			i += 3
+		}
+	}
+}
+
+func lerp8(a, b uint8, t float64) uint8 {
+	return uint8(math.Round(float64(a) + (float64(b)-float64(a))*t))
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,219 @@
+// Package img implements the raster-image substrate used by the VERRO
+// pipeline: an 8-bit RGB image type with HSV conversion, per-channel
+// histograms, gradients, resizing, simple drawing primitives and PNG export.
+// It intentionally mirrors a small subset of what the paper obtains from
+// OpenCV, implemented from scratch on the standard library.
+package img
+
+import (
+	"fmt"
+
+	"verro/internal/geom"
+)
+
+// RGB is a packed 24-bit color.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Gray returns the luma of c using the Rec. 601 weights.
+func (c RGB) Gray() uint8 {
+	return uint8((299*int(c.R) + 587*int(c.G) + 114*int(c.B)) / 1000)
+}
+
+// Image is an 8-bit-per-channel RGB raster. Pixels are stored row-major in a
+// single backing slice, three bytes per pixel.
+type Image struct {
+	W, H int
+	Pix  []uint8 // len = W*H*3
+}
+
+// New returns a black W×H image.
+func New(w, h int) *Image {
+	if w < 0 || h < 0 {
+		panic(fmt.Sprintf("img: negative dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// NewFilled returns a W×H image filled with color c.
+func NewFilled(w, h int, c RGB) *Image {
+	m := New(w, h)
+	for i := 0; i < len(m.Pix); i += 3 {
+		m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
+	}
+	return m
+}
+
+// Bounds returns the image rectangle anchored at the origin.
+func (m *Image) Bounds() geom.Rect { return geom.R(0, 0, m.W, m.H) }
+
+// offset returns the index of pixel (x, y) in Pix.
+func (m *Image) offset(x, y int) int { return (y*m.W + x) * 3 }
+
+// At returns the pixel at (x, y). Out-of-bounds coordinates are clamped to
+// the nearest edge pixel, which is the behaviour every window-based
+// algorithm in this repository wants.
+func (m *Image) At(x, y int) RGB {
+	x = geom.Clamp(x, 0, m.W-1)
+	y = geom.Clamp(y, 0, m.H-1)
+	i := m.offset(x, y)
+	return RGB{m.Pix[i], m.Pix[i+1], m.Pix[i+2]}
+}
+
+// InBounds reports whether (x, y) is a valid pixel coordinate.
+func (m *Image) InBounds(x, y int) bool {
+	return x >= 0 && x < m.W && y >= 0 && y < m.H
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (m *Image) Set(x, y int, c RGB) {
+	if !m.InBounds(x, y) {
+		return
+	}
+	i := m.offset(x, y)
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
+}
+
+// Clone returns a deep copy of m.
+func (m *Image) Clone() *Image {
+	out := &Image{W: m.W, H: m.H, Pix: make([]uint8, len(m.Pix))}
+	copy(out.Pix, m.Pix)
+	return out
+}
+
+// SubImage copies the pixels of r (clipped to the image) into a new image.
+func (m *Image) SubImage(r geom.Rect) *Image {
+	r = r.Clip(m.Bounds())
+	out := New(r.Dx(), r.Dy())
+	for y := 0; y < out.H; y++ {
+		srcOff := m.offset(r.Min.X, r.Min.Y+y)
+		dstOff := out.offset(0, y)
+		copy(out.Pix[dstOff:dstOff+out.W*3], m.Pix[srcOff:srcOff+out.W*3])
+	}
+	return out
+}
+
+// Blit copies src onto m with its top-left corner at p, clipping to m.
+func (m *Image) Blit(src *Image, p geom.Point) {
+	for y := 0; y < src.H; y++ {
+		dy := p.Y + y
+		if dy < 0 || dy >= m.H {
+			continue
+		}
+		for x := 0; x < src.W; x++ {
+			dx := p.X + x
+			if dx < 0 || dx >= m.W {
+				continue
+			}
+			si := src.offset(x, y)
+			di := m.offset(dx, dy)
+			m.Pix[di], m.Pix[di+1], m.Pix[di+2] = src.Pix[si], src.Pix[si+1], src.Pix[si+2]
+		}
+	}
+}
+
+// BlitMasked copies src onto m at p, skipping pixels equal to the mask color
+// key. It is how sprites with transparent backgrounds are composited.
+func (m *Image) BlitMasked(src *Image, p geom.Point, key RGB) {
+	for y := 0; y < src.H; y++ {
+		dy := p.Y + y
+		if dy < 0 || dy >= m.H {
+			continue
+		}
+		for x := 0; x < src.W; x++ {
+			dx := p.X + x
+			if dx < 0 || dx >= m.W {
+				continue
+			}
+			si := src.offset(x, y)
+			c := RGB{src.Pix[si], src.Pix[si+1], src.Pix[si+2]}
+			if c == key {
+				continue
+			}
+			di := m.offset(dx, dy)
+			m.Pix[di], m.Pix[di+1], m.Pix[di+2] = c.R, c.G, c.B
+		}
+	}
+}
+
+// Equal reports whether two images have identical dimensions and pixels.
+func (m *Image) Equal(n *Image) bool {
+	if m.W != n.W || m.H != n.H {
+		return false
+	}
+	for i := range m.Pix {
+		if m.Pix[i] != n.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffCount returns the number of pixels at which m and n differ. Images of
+// different sizes are reported as entirely different.
+func (m *Image) DiffCount(n *Image) int {
+	if m.W != n.W || m.H != n.H {
+		return max(m.W*m.H, n.W*n.H)
+	}
+	count := 0
+	for i := 0; i < len(m.Pix); i += 3 {
+		if m.Pix[i] != n.Pix[i] || m.Pix[i+1] != n.Pix[i+1] || m.Pix[i+2] != n.Pix[i+2] {
+			count++
+		}
+	}
+	return count
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between two
+// images of the same size, a cheap frame-distance measure.
+func (m *Image) MeanAbsDiff(n *Image) float64 {
+	if m.W != n.W || m.H != n.H || len(m.Pix) == 0 {
+		return 255
+	}
+	var sum int64
+	for i := range m.Pix {
+		d := int64(m.Pix[i]) - int64(n.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(m.Pix))
+}
+
+// Fill paints rectangle r (clipped) with color c.
+func (m *Image) Fill(r geom.Rect, c RGB) {
+	r = r.Clip(m.Bounds())
+	for y := r.Min.Y; y < r.Max.Y; y++ {
+		i := m.offset(r.Min.X, y)
+		for x := r.Min.X; x < r.Max.X; x++ {
+			m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
+			i += 3
+		}
+	}
+}
+
+// SSD returns the sum of squared per-channel differences between the patch
+// of m at rm and the patch of n at rn; both patches must have the same size
+// and lie in bounds (the caller guarantees this — it is the hot loop of the
+// inpainting search). Pixels where skip(x, y) reports true (coordinates
+// relative to the rm patch) are excluded; skip may be nil.
+func SSD(m *Image, rm geom.Rect, n *Image, rn geom.Rect, skip func(x, y int) bool) float64 {
+	var sum float64
+	for y := 0; y < rm.Dy(); y++ {
+		mi := m.offset(rm.Min.X, rm.Min.Y+y)
+		ni := n.offset(rn.Min.X, rn.Min.Y+y)
+		for x := 0; x < rm.Dx(); x++ {
+			if skip == nil || !skip(x, y) {
+				for c := 0; c < 3; c++ {
+					d := float64(m.Pix[mi+c]) - float64(n.Pix[ni+c])
+					sum += d * d
+				}
+			}
+			mi += 3
+			ni += 3
+		}
+	}
+	return sum
+}

@@ -1,0 +1,180 @@
+package img
+
+import (
+	"math"
+
+	"verro/internal/geom"
+)
+
+// Resize returns m resampled to w×h using bilinear interpolation.
+func (m *Image) Resize(w, h int) *Image {
+	out := New(w, h)
+	if m.W == 0 || m.H == 0 || w == 0 || h == 0 {
+		return out
+	}
+	sx := float64(m.W) / float64(w)
+	sy := float64(m.H) / float64(h)
+	for y := 0; y < h; y++ {
+		fy := (float64(y)+0.5)*sy - 0.5
+		y0 := int(math.Floor(fy))
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := (float64(x)+0.5)*sx - 0.5
+			x0 := int(math.Floor(fx))
+			tx := fx - float64(x0)
+			c00 := m.At(x0, y0)
+			c10 := m.At(x0+1, y0)
+			c01 := m.At(x0, y0+1)
+			c11 := m.At(x0+1, y0+1)
+			out.Set(x, y, RGB{
+				R: bilerp(c00.R, c10.R, c01.R, c11.R, tx, ty),
+				G: bilerp(c00.G, c10.G, c01.G, c11.G, tx, ty),
+				B: bilerp(c00.B, c10.B, c01.B, c11.B, tx, ty),
+			})
+		}
+	}
+	return out
+}
+
+func bilerp(c00, c10, c01, c11 uint8, tx, ty float64) uint8 {
+	top := float64(c00) + (float64(c10)-float64(c00))*tx
+	bot := float64(c01) + (float64(c11)-float64(c01))*tx
+	return uint8(math.Round(top + (bot-top)*ty))
+}
+
+// Scale returns m resized by the given factor (>0).
+func (m *Image) Scale(factor float64) *Image {
+	w := int(math.Round(float64(m.W) * factor))
+	h := int(math.Round(float64(m.H) * factor))
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return m.Resize(w, h)
+}
+
+// GrayPlane returns the luma of every pixel as a float64 plane, row-major.
+func (m *Image) GrayPlane() []float64 {
+	out := make([]float64, m.W*m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out[y*m.W+x] = float64(m.At(x, y).Gray())
+		}
+	}
+	return out
+}
+
+// Gradients computes central-difference horizontal and vertical luma
+// gradients. The returned planes have the same dimensions as m.
+func (m *Image) Gradients() (gx, gy []float64) {
+	gray := m.GrayPlane()
+	gx = make([]float64, m.W*m.H)
+	gy = make([]float64, m.W*m.H)
+	at := func(x, y int) float64 {
+		x = geom.Clamp(x, 0, m.W-1)
+		y = geom.Clamp(y, 0, m.H-1)
+		return gray[y*m.W+x]
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			i := y*m.W + x
+			gx[i] = at(x+1, y) - at(x-1, y)
+			gy[i] = at(x, y+1) - at(x, y-1)
+		}
+	}
+	return gx, gy
+}
+
+// Integral is a summed-area table over a scalar plane; Sum answers
+// rectangular queries in O(1). Used by the background-subtraction detector.
+type Integral struct {
+	w, h int
+	sum  []float64 // (w+1)*(h+1)
+}
+
+// NewIntegral builds the summed-area table of plane (w×h, row-major).
+func NewIntegral(plane []float64, w, h int) *Integral {
+	it := &Integral{w: w, h: h, sum: make([]float64, (w+1)*(h+1))}
+	for y := 0; y < h; y++ {
+		var row float64
+		for x := 0; x < w; x++ {
+			row += plane[y*w+x]
+			it.sum[(y+1)*(w+1)+(x+1)] = it.sum[y*(w+1)+(x+1)] + row
+		}
+	}
+	return it
+}
+
+// Sum returns the sum of the plane over rectangle r (clipped).
+func (it *Integral) Sum(r geom.Rect) float64 {
+	r = r.Clip(geom.R(0, 0, it.w, it.h))
+	if r.Empty() {
+		return 0
+	}
+	w1 := it.w + 1
+	a := it.sum[r.Min.Y*w1+r.Min.X]
+	b := it.sum[r.Min.Y*w1+r.Max.X]
+	c := it.sum[r.Max.Y*w1+r.Min.X]
+	d := it.sum[r.Max.Y*w1+r.Max.X]
+	return d - b - c + a
+}
+
+// Mean returns the mean of the plane over rectangle r (clipped); 0 for an
+// empty rectangle.
+func (it *Integral) Mean(r geom.Rect) float64 {
+	r = r.Clip(geom.R(0, 0, it.w, it.h))
+	a := r.Area()
+	if a == 0 {
+		return 0
+	}
+	return it.Sum(r) / float64(a)
+}
+
+// ColorDiffPlane returns, per pixel, the maximum per-channel absolute
+// difference between m and n — a chromatic change measure that catches
+// objects whose luma happens to match the background. The result has m's
+// dimensions; n is sampled with edge clamping.
+func ColorDiffPlane(m, n *Image) []float64 {
+	out := make([]float64, m.W*m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			a := m.At(x, y)
+			b := n.At(x, y)
+			d := absDiff8(a.R, b.R)
+			if g := absDiff8(a.G, b.G); g > d {
+				d = g
+			}
+			if bl := absDiff8(a.B, b.B); bl > d {
+				d = bl
+			}
+			out[y*m.W+x] = float64(d)
+		}
+	}
+	return out
+}
+
+func absDiff8(a, b uint8) uint8 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// AbsDiffPlane returns |luma(m) − luma(n)| as a plane. Images must have the
+// same dimensions; the result has m's dimensions with missing pixels treated
+// as zero difference.
+func AbsDiffPlane(m, n *Image) []float64 {
+	out := make([]float64, m.W*m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			d := float64(m.At(x, y).Gray()) - float64(n.At(x, y).Gray())
+			if d < 0 {
+				d = -d
+			}
+			out[y*m.W+x] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package inpaint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"verro/internal/geom"
+	"verro/internal/img"
+	"verro/internal/motio"
+	"verro/internal/vid"
+)
+
+// MaskDilation is how far object boxes are grown before background
+// reconstruction, to swallow anti-aliased borders and small tracker error.
+const MaskDilation = 2
+
+// FrameMask builds the removal mask for frame k from the tracked objects.
+func FrameMask(w, h, k int, tracks *motio.TrackSet) *Mask {
+	m := NewMask(w, h)
+	for _, t := range tracks.Tracks {
+		if b, ok := t.Box(k); ok {
+			m.SetRect(b, true)
+		}
+	}
+	return m.Dilate(MaskDilation)
+}
+
+// StaticBackground reconstructs the single background scene of a
+// static-camera video: each pixel takes the median of its values over the
+// frames in which no object covers it; pixels covered in every sampled
+// frame are then filled with Criminisi inpainting.
+func StaticBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (*img.Image, error) {
+	if v.Len() == 0 {
+		return nil, errors.New("inpaint: empty video")
+	}
+	if step < 1 {
+		step = 1
+	}
+	w, h := v.W, v.H
+	// Per-pixel value collection (uint8 per channel) over unmasked frames.
+	vals := make([][]uint8, w*h*3)
+	for k := 0; k < v.Len(); k += step {
+		mask := FrameMask(w, h, k, tracks)
+		f := v.Frame(k)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				if mask.At(x, y) {
+					continue
+				}
+				base := (y*w + x) * 3
+				for c := 0; c < 3; c++ {
+					vals[base+c] = append(vals[base+c], f.Pix[base+c])
+				}
+			}
+		}
+	}
+	out := img.New(w, h)
+	hole := NewMask(w, h)
+	holes := 0
+	for i := 0; i < w*h; i++ {
+		if len(vals[i*3]) == 0 {
+			hole.Bits[i] = true
+			holes++
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			out.Pix[i*3+c] = medianU8(vals[i*3+c])
+		}
+	}
+	if holes > 0 {
+		filled, err := Inpaint(out, hole, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("inpaint: filling %d always-covered pixels: %w", holes, err)
+		}
+		out = filled
+	}
+	return out, nil
+}
+
+func medianU8(vals []uint8) uint8 {
+	var counts [256]int
+	for _, v := range vals {
+		counts[v]++
+	}
+	mid := (len(vals) - 1) / 2
+	cum := 0
+	for v := 0; v < 256; v++ {
+		cum += counts[v]
+		if cum > mid {
+			return uint8(v)
+		}
+	}
+	return 255
+}
+
+// EstimatePan estimates the horizontal camera offset of every frame
+// relative to frame 0 by integrating frame-to-frame shifts. Each pairwise
+// shift is found by minimizing the sum of absolute differences of row-mean
+// luma profiles over a ±maxShift window — cheap and robust for the
+// horizontally panning sequences VERRO's evaluation uses.
+func EstimatePan(v *vid.Video, maxShift int) ([]int, error) {
+	if v.Len() == 0 {
+		return nil, errors.New("inpaint: empty video")
+	}
+	if maxShift < 1 {
+		maxShift = 8
+	}
+	profiles := make([][]float64, v.Len())
+	for k := 0; k < v.Len(); k++ {
+		profiles[k] = columnProfile(v.Frame(k))
+	}
+	offsets := make([]int, v.Len())
+	for k := 1; k < v.Len(); k++ {
+		shift := bestShift(profiles[k-1], profiles[k], maxShift)
+		offsets[k] = offsets[k-1] + shift
+	}
+	return offsets, nil
+}
+
+// columnProfile returns the mean luma of each column.
+func columnProfile(f *img.Image) []float64 {
+	out := make([]float64, f.W)
+	for x := 0; x < f.W; x++ {
+		var sum float64
+		for y := 0; y < f.H; y++ {
+			sum += float64(f.At(x, y).Gray())
+		}
+		out[x] = sum / float64(f.H)
+	}
+	return out
+}
+
+// bestShift finds s minimizing SAD(prev[x+s], cur[x]).
+func bestShift(prev, cur []float64, maxShift int) int {
+	best := 0
+	bestSAD := math.Inf(1)
+	for s := -maxShift; s <= maxShift; s++ {
+		var sad float64
+		n := 0
+		for x := 0; x < len(cur); x++ {
+			px := x + s
+			if px < 0 || px >= len(prev) {
+				continue
+			}
+			sad += math.Abs(prev[px] - cur[x])
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		sad /= float64(n)
+		if sad < bestSAD {
+			bestSAD = sad
+			best = s
+		}
+	}
+	return best
+}
+
+// MovingBackground reconstructs per-frame backgrounds for a panning-camera
+// video: frames are aligned into panorama coordinates using the estimated
+// pan offsets, a per-pixel median panorama is stacked from unmasked pixels,
+// remaining holes are inpainted, and each frame's background is the
+// panorama viewport at its offset.
+type MovingBackground struct {
+	Panorama *img.Image
+	Offsets  []int // pan offset per frame, normalized to min 0
+	W, H     int
+}
+
+// BuildMovingBackground computes the panorama background model.
+func BuildMovingBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (*MovingBackground, error) {
+	offsets, err := EstimatePan(v, 12)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize offsets to be ≥ 0.
+	minOff := offsets[0]
+	maxOff := offsets[0]
+	for _, o := range offsets {
+		if o < minOff {
+			minOff = o
+		}
+		if o > maxOff {
+			maxOff = o
+		}
+	}
+	for i := range offsets {
+		offsets[i] -= minOff
+	}
+	panW := v.W + (maxOff - minOff)
+	if step < 1 {
+		step = 1
+	}
+
+	vals := make([][]uint8, panW*v.H*3)
+	for k := 0; k < v.Len(); k += step {
+		mask := FrameMask(v.W, v.H, k, tracks)
+		f := v.Frame(k)
+		off := offsets[k]
+		for y := 0; y < v.H; y++ {
+			for x := 0; x < v.W; x++ {
+				if mask.At(x, y) {
+					continue
+				}
+				pi := (y*panW + x + off) * 3
+				fi := (y*v.W + x) * 3
+				for c := 0; c < 3; c++ {
+					vals[pi+c] = append(vals[pi+c], f.Pix[fi+c])
+				}
+			}
+		}
+	}
+	pano := img.New(panW, v.H)
+	hole := NewMask(panW, v.H)
+	holes := 0
+	for i := 0; i < panW*v.H; i++ {
+		if len(vals[i*3]) == 0 {
+			hole.Bits[i] = true
+			holes++
+			continue
+		}
+		for c := 0; c < 3; c++ {
+			pano.Pix[i*3+c] = medianU8(vals[i*3+c])
+		}
+	}
+	if holes > 0 && holes < panW*v.H {
+		filled, err := Inpaint(pano, hole, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("inpaint: panorama holes: %w", err)
+		}
+		pano = filled
+	}
+	return &MovingBackground{Panorama: pano, Offsets: offsets, W: v.W, H: v.H}, nil
+}
+
+// FrameBackground returns the background scene for frame k.
+func (mb *MovingBackground) FrameBackground(k int) (*img.Image, error) {
+	if k < 0 || k >= len(mb.Offsets) {
+		return nil, fmt.Errorf("inpaint: frame %d out of range [0,%d)", k, len(mb.Offsets))
+	}
+	off := geom.Clamp(mb.Offsets[k], 0, mb.Panorama.W-mb.W)
+	return mb.Panorama.SubImage(geom.RectAt(off, 0, mb.W, mb.H)), nil
+}
+
+// Scenes is the uniform background-provider the sanitizer consumes: one
+// background image per frame, whatever the camera model.
+type Scenes interface {
+	Background(frame int) (*img.Image, error)
+}
+
+// staticScenes adapts a single background image.
+type staticScenes struct{ bg *img.Image }
+
+func (s staticScenes) Background(int) (*img.Image, error) { return s.bg, nil }
+
+// NewStaticScenes wraps one background image as a Scenes provider.
+func NewStaticScenes(bg *img.Image) Scenes { return staticScenes{bg} }
+
+// Background implements Scenes for the moving-camera model.
+func (mb *MovingBackground) Background(k int) (*img.Image, error) {
+	return mb.FrameBackground(k)
+}
+
+// ExtractScenes picks the right reconstruction for the video's camera
+// model and returns a per-frame background provider. step subsamples the
+// frames feeding the temporal median.
+func ExtractScenes(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (Scenes, error) {
+	if v.Moving {
+		return BuildMovingBackground(v, tracks, step, cfg)
+	}
+	bg, err := StaticBackground(v, tracks, step, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewStaticScenes(bg), nil
+}
+
+// SortedOffsets returns a copy of the distinct pan offsets in ascending
+// order; exported for diagnostics and tests.
+func (mb *MovingBackground) SortedOffsets() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, o := range mb.Offsets {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,284 @@
+// Package interp implements the trajectory interpolation methods used in
+// VERRO's Phase II (paper Section 4.2): Lagrange polynomial interpolation
+// over the coordinates randomly assigned at key frames, plus the
+// piecewise-linear and nearest-neighbour alternatives the paper cites, and
+// the head/end border-extension rule that decides in which frames an object
+// exists at all.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"verro/internal/geom"
+)
+
+// ErrInput reports unusable control points.
+var ErrInput = errors.New("interp: invalid control points")
+
+// Sample is a known trajectory position: the object's center at a frame.
+type Sample struct {
+	Frame int
+	Pos   geom.Vec
+}
+
+// sortSamples orders samples by frame and rejects duplicates.
+func sortSamples(samples []Sample) ([]Sample, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%w: no samples", ErrInput)
+	}
+	out := append([]Sample(nil), samples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Frame < out[j].Frame })
+	for i := 1; i < len(out); i++ {
+		if out[i].Frame == out[i-1].Frame {
+			return nil, fmt.Errorf("%w: duplicate frame %d", ErrInput, out[i].Frame)
+		}
+	}
+	return out, nil
+}
+
+// Lagrange evaluates the Lagrange interpolating polynomial through the
+// samples at frame t (x and y interpolated independently). With a single
+// sample the trajectory is constant.
+func Lagrange(samples []Sample, t float64) (geom.Vec, error) {
+	s, err := sortSamples(samples)
+	if err != nil {
+		return geom.Vec{}, err
+	}
+	if len(s) == 1 {
+		return s[0].Pos, nil
+	}
+	var out geom.Vec
+	for i := range s {
+		li := 1.0
+		xi := float64(s[i].Frame)
+		for j := range s {
+			if j == i {
+				continue
+			}
+			xj := float64(s[j].Frame)
+			li *= (t - xj) / (xi - xj)
+		}
+		out.X += li * s[i].Pos.X
+		out.Y += li * s[i].Pos.Y
+	}
+	return out, nil
+}
+
+// Linear evaluates piecewise-linear interpolation through the samples at
+// frame t, clamping to the end positions outside the sample span.
+func Linear(samples []Sample, t float64) (geom.Vec, error) {
+	s, err := sortSamples(samples)
+	if err != nil {
+		return geom.Vec{}, err
+	}
+	if t <= float64(s[0].Frame) {
+		return s[0].Pos, nil
+	}
+	if t >= float64(s[len(s)-1].Frame) {
+		return s[len(s)-1].Pos, nil
+	}
+	// Find the bracketing pair.
+	hi := sort.Search(len(s), func(i int) bool { return float64(s[i].Frame) >= t })
+	lo := hi - 1
+	span := float64(s[hi].Frame - s[lo].Frame)
+	u := (t - float64(s[lo].Frame)) / span
+	return s[lo].Pos.Lerp(s[hi].Pos, u), nil
+}
+
+// Nearest evaluates nearest-neighbour interpolation at frame t.
+func Nearest(samples []Sample, t float64) (geom.Vec, error) {
+	s, err := sortSamples(samples)
+	if err != nil {
+		return geom.Vec{}, err
+	}
+	best := s[0]
+	bestD := absF(t - float64(s[0].Frame))
+	for _, smp := range s[1:] {
+		d := absF(t - float64(smp.Frame))
+		if d < bestD {
+			best, bestD = smp, d
+		}
+	}
+	return best.Pos, nil
+}
+
+// Method selects an interpolation scheme.
+type Method int
+
+// Interpolation methods.
+const (
+	MethodLagrange Method = iota
+	MethodLinear
+	MethodNearest
+	// MethodHybrid uses Lagrange when few control points are available and
+	// falls back to piecewise-linear with many, avoiding Runge oscillation on
+	// long tracks while matching the paper's choice on short ones.
+	MethodHybrid
+)
+
+// hybridCutoff is the number of control points above which MethodHybrid
+// switches from Lagrange to piecewise-linear.
+const hybridCutoff = 5
+
+// Eval evaluates the chosen method at frame t.
+func Eval(m Method, samples []Sample, t float64) (geom.Vec, error) {
+	switch m {
+	case MethodLagrange:
+		return Lagrange(samples, t)
+	case MethodLinear:
+		return Linear(samples, t)
+	case MethodNearest:
+		return Nearest(samples, t)
+	case MethodHybrid:
+		if len(samples) <= hybridCutoff {
+			return Lagrange(samples, t)
+		}
+		return Linear(samples, t)
+	default:
+		return geom.Vec{}, fmt.Errorf("%w: unknown method %d", ErrInput, m)
+	}
+}
+
+// Trajectory densifies the samples into a per-frame trajectory over
+// [firstFrame, lastFrame] inclusive, evaluated with method m and clamped to
+// bounds. The result has one position per frame.
+func Trajectory(m Method, samples []Sample, firstFrame, lastFrame int, bounds geom.Rect) (geom.Polyline, error) {
+	if lastFrame < firstFrame {
+		return nil, fmt.Errorf("%w: frame span [%d,%d]", ErrInput, firstFrame, lastFrame)
+	}
+	out := make(geom.Polyline, 0, lastFrame-firstFrame+1)
+	for k := firstFrame; k <= lastFrame; k++ {
+		v, err := Eval(m, samples, float64(k))
+		if err != nil {
+			return nil, err
+		}
+		if !bounds.Empty() {
+			v.X = geom.ClampF(v.X, float64(bounds.Min.X), float64(bounds.Max.X-1))
+			v.Y = geom.ClampF(v.Y, float64(bounds.Min.Y), float64(bounds.Max.Y-1))
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ExtendToBorder implements the paper's head/end rule (Section 4.2): the
+// interpolated trajectory is extended before its first and after its last
+// control point along the local direction until the position reaches the
+// border of bounds or the frame range [0, m) is exhausted. maxExtend, when
+// positive, additionally caps the head and tail extension lengths (in
+// frames) — objects whose terminal velocity is low would otherwise linger
+// on screen far beyond their evidence. It returns the frames (relative to
+// the full video) and positions of the extended trajectory, including the
+// interpolated middle part.
+func ExtendToBorder(m Method, samples []Sample, numFrames int, bounds geom.Rect, maxExtend int) (frames []int, pos geom.Polyline, err error) {
+	s, err := sortSamples(samples)
+	if err != nil {
+		return nil, nil, err
+	}
+	first, last := s[0].Frame, s[len(s)-1].Frame
+	if first < 0 || last >= numFrames {
+		return nil, nil, fmt.Errorf("%w: control frames outside video [0,%d)", ErrInput, numFrames)
+	}
+
+	// The middle section is deliberately NOT clamped to bounds: positions
+	// that interpolate outside the frame are returned as-is so the caller
+	// can suppress them (paper Section 6.3 — out-of-frame objects are
+	// suppressed in Phase II rather than dragged back on screen).
+	middle, err := Trajectory(m, s, first, last, geom.Rect{})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Head: walk backwards with the initial velocity until out of bounds or
+	// the extension cap is hit.
+	var headFrames []int
+	var headPos geom.Polyline
+	vel := headVelocity(middle)
+	p := middle[0]
+	for k := first - 1; k >= 0; k-- {
+		if maxExtend > 0 && len(headFrames) >= maxExtend {
+			break
+		}
+		p = p.Sub(vel)
+		if !p.Round().In(bounds) {
+			break
+		}
+		headFrames = append(headFrames, k)
+		headPos = append(headPos, p)
+	}
+	reverseInts(headFrames)
+	reversePoly(headPos)
+
+	// End: walk forward with the final velocity until out of bounds or the
+	// extension cap is hit.
+	var tailFrames []int
+	var tailPos geom.Polyline
+	vel = tailVelocity(middle)
+	p = middle[len(middle)-1]
+	for k := last + 1; k < numFrames; k++ {
+		if maxExtend > 0 && len(tailFrames) >= maxExtend {
+			break
+		}
+		p = p.Add(vel)
+		if !p.Round().In(bounds) {
+			break
+		}
+		tailFrames = append(tailFrames, k)
+		tailPos = append(tailPos, p)
+	}
+
+	frames = append(frames, headFrames...)
+	for k := first; k <= last; k++ {
+		frames = append(frames, k)
+	}
+	frames = append(frames, tailFrames...)
+	pos = append(pos, headPos...)
+	pos = append(pos, middle...)
+	pos = append(pos, tailPos...)
+	return frames, pos, nil
+}
+
+// headVelocity estimates the per-frame velocity at the start of a dense
+// trajectory; zero for constant trajectories, which terminates extension
+// immediately via the border check only if already outside — so we give a
+// small default downward-right drift to guarantee termination.
+func headVelocity(p geom.Polyline) geom.Vec {
+	if len(p) >= 2 {
+		v := p[1].Sub(p[0])
+		if v.Norm() > 1e-9 {
+			return v
+		}
+	}
+	return geom.V(1, 0)
+}
+
+func tailVelocity(p geom.Polyline) geom.Vec {
+	if len(p) >= 2 {
+		v := p[len(p)-1].Sub(p[len(p)-2])
+		if v.Norm() > 1e-9 {
+			return v
+		}
+	}
+	return geom.V(1, 0)
+}
+
+func reverseInts(xs []int) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func reversePoly(xs geom.Polyline) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,269 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"verro/internal/geom"
+)
+
+func TestLagrangePassesThroughControlPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		samples := make([]Sample, n)
+		used := map[int]bool{}
+		for i := range samples {
+			fr := rng.Intn(100)
+			for used[fr] {
+				fr = rng.Intn(100)
+			}
+			used[fr] = true
+			samples[i] = Sample{Frame: fr, Pos: geom.V(rng.Float64()*100, rng.Float64()*100)}
+		}
+		for _, s := range samples {
+			got, err := Lagrange(samples, float64(s.Frame))
+			if err != nil {
+				return false
+			}
+			if got.Dist(s.Pos) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLagrangeLinearCase(t *testing.T) {
+	// Two points define a line; the midpoint must be the average.
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(0, 0)},
+		{Frame: 10, Pos: geom.V(10, 20)},
+	}
+	got, err := Lagrange(samples, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist(geom.V(5, 10)) > 1e-9 {
+		t.Fatalf("midpoint = %v", got)
+	}
+}
+
+func TestLagrangeSinglePointIsConstant(t *testing.T) {
+	samples := []Sample{{Frame: 3, Pos: geom.V(7, 8)}}
+	for _, tt := range []float64{0, 3, 100} {
+		got, err := Lagrange(samples, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != geom.V(7, 8) {
+			t.Fatalf("t=%v: %v", tt, got)
+		}
+	}
+}
+
+func TestDuplicateFramesRejected(t *testing.T) {
+	samples := []Sample{
+		{Frame: 1, Pos: geom.V(0, 0)},
+		{Frame: 1, Pos: geom.V(5, 5)},
+	}
+	if _, err := Lagrange(samples, 0); err == nil {
+		t.Fatal("duplicate frames should be rejected")
+	}
+	if _, err := Linear(samples, 0); err == nil {
+		t.Fatal("duplicate frames should be rejected by Linear too")
+	}
+	if _, err := Lagrange(nil, 0); err == nil {
+		t.Fatal("empty samples should fail")
+	}
+}
+
+func TestLinearInterpolation(t *testing.T) {
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(0, 0)},
+		{Frame: 4, Pos: geom.V(4, 0)},
+		{Frame: 8, Pos: geom.V(4, 8)},
+	}
+	cases := []struct {
+		t    float64
+		want geom.Vec
+	}{
+		{-5, geom.V(0, 0)}, // clamped before
+		{0, geom.V(0, 0)},
+		{2, geom.V(2, 0)},
+		{4, geom.V(4, 0)},
+		{6, geom.V(4, 4)},
+		{8, geom.V(4, 8)},
+		{99, geom.V(4, 8)}, // clamped after
+	}
+	for _, c := range cases {
+		got, err := Linear(samples, c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dist(c.want) > 1e-9 {
+			t.Fatalf("Linear(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(0, 0)},
+		{Frame: 10, Pos: geom.V(10, 10)},
+	}
+	got, _ := Nearest(samples, 4)
+	if got != geom.V(0, 0) {
+		t.Fatalf("Nearest(4) = %v", got)
+	}
+	got, _ = Nearest(samples, 6)
+	if got != geom.V(10, 10) {
+		t.Fatalf("Nearest(6) = %v", got)
+	}
+}
+
+func TestEvalMethods(t *testing.T) {
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(0, 0)},
+		{Frame: 2, Pos: geom.V(2, 2)},
+	}
+	for _, m := range []Method{MethodLagrange, MethodLinear, MethodNearest, MethodHybrid} {
+		if _, err := Eval(m, samples, 1); err != nil {
+			t.Fatalf("method %d: %v", m, err)
+		}
+	}
+	if _, err := Eval(Method(42), samples, 1); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestHybridSwitchesToLinear(t *testing.T) {
+	// Many oscillating control points make pure Lagrange explode (Runge);
+	// hybrid must stay bounded between control values.
+	var samples []Sample
+	for i := 0; i <= 10; i++ {
+		y := 0.0
+		if i%2 == 1 {
+			y = 10
+		}
+		samples = append(samples, Sample{Frame: i * 10, Pos: geom.V(float64(i*10), y)})
+	}
+	got, err := Eval(MethodHybrid, samples, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Y < -1e-9 || got.Y > 10+1e-9 {
+		t.Fatalf("hybrid should interpolate within range: %v", got)
+	}
+}
+
+func TestTrajectoryClampsToBounds(t *testing.T) {
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(-100, 5)},
+		{Frame: 4, Pos: geom.V(100, 5)},
+	}
+	bounds := geom.R(0, 0, 50, 50)
+	traj, err := Trajectory(MethodLinear, samples, 0, 4, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 5 {
+		t.Fatalf("len = %d", len(traj))
+	}
+	for i, p := range traj {
+		if p.X < 0 || p.X > 49 || p.Y < 0 || p.Y > 49 {
+			t.Fatalf("frame %d: %v outside bounds", i, p)
+		}
+	}
+}
+
+func TestTrajectoryBadSpan(t *testing.T) {
+	samples := []Sample{{Frame: 0, Pos: geom.V(0, 0)}}
+	if _, err := Trajectory(MethodLinear, samples, 5, 2, geom.Rect{}); err == nil {
+		t.Fatal("inverted span should fail")
+	}
+}
+
+func TestExtendToBorder(t *testing.T) {
+	bounds := geom.R(0, 0, 100, 100)
+	// Object moving right at 2 px/frame, known at frames 10 and 20.
+	samples := []Sample{
+		{Frame: 10, Pos: geom.V(40, 50)},
+		{Frame: 20, Pos: geom.V(60, 50)},
+	}
+	frames, pos, err := ExtendToBorder(MethodLinear, samples, 100, bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != len(pos) {
+		t.Fatalf("lengths differ: %d vs %d", len(frames), len(pos))
+	}
+	// Head: from x=40 backwards at 2/frame, reaches x<0 after 20 frames, so
+	// the head should start around frame 10-20=-10 → clipped to 0... In
+	// frames: it extends while in bounds, i.e. x≥0 → 20 extra frames max but
+	// limited by frame 0. First frame must be ≤ 10 and ≥ 0.
+	if frames[0] > 10 || frames[0] < 0 {
+		t.Fatalf("head starts at %d", frames[0])
+	}
+	// Tail: from x=60 at +2/frame, exits at x≥100 after 20 frames → last
+	// frame ≈ 39.
+	last := frames[len(frames)-1]
+	if last < 21 || last > 45 {
+		t.Fatalf("tail ends at %d", last)
+	}
+	// Frames must be contiguous.
+	for i := 1; i < len(frames); i++ {
+		if frames[i] != frames[i-1]+1 {
+			t.Fatalf("frames not contiguous at %d: %v", i, frames[i-1:i+1])
+		}
+	}
+	// All positions in bounds.
+	for i, p := range pos {
+		if !p.Round().In(bounds) {
+			t.Fatalf("position %d = %v outside bounds", i, p)
+		}
+	}
+}
+
+func TestExtendToBorderStationaryObjectTerminates(t *testing.T) {
+	bounds := geom.R(0, 0, 50, 50)
+	samples := []Sample{
+		{Frame: 5, Pos: geom.V(25, 25)},
+		{Frame: 10, Pos: geom.V(25, 25)},
+	}
+	frames, _, err := ExtendToBorder(MethodLinear, samples, 1000, bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) > 1000 {
+		t.Fatal("extension must terminate")
+	}
+}
+
+func TestExtendToBorderRejectsOutOfRangeControls(t *testing.T) {
+	samples := []Sample{{Frame: 50, Pos: geom.V(0, 0)}}
+	if _, _, err := ExtendToBorder(MethodLinear, samples, 10, geom.R(0, 0, 5, 5), 0); err == nil {
+		t.Fatal("control frame beyond video should fail")
+	}
+}
+
+func TestLagrangeQuadratic(t *testing.T) {
+	// y = t² through 3 points must be exact everywhere.
+	samples := []Sample{
+		{Frame: 0, Pos: geom.V(0, 0)},
+		{Frame: 1, Pos: geom.V(1, 1)},
+		{Frame: 2, Pos: geom.V(2, 4)},
+	}
+	got, err := Lagrange(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Y-9) > 1e-9 || math.Abs(got.X-3) > 1e-9 {
+		t.Fatalf("extrapolated quadratic = %v, want (3,9)", got)
+	}
+}

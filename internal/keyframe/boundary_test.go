@@ -1,0 +1,68 @@
+package keyframe
+
+import (
+	"errors"
+	"testing"
+
+	"verro/internal/vid"
+)
+
+func TestExtractWithBoundaryFindsScenes(t *testing.T) {
+	v := sceneVideo(t, 3, 10)
+	res, err := ExtractWithBoundary(v, DefaultBoundaryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3 (%v)", len(res.Segments), res.Segments)
+	}
+	// Segments tile the video.
+	next := 0
+	for _, s := range res.Segments {
+		if s.Start != next {
+			t.Fatalf("gap at %d: %v", next, s)
+		}
+		if !s.Contains(s.KeyFrame) {
+			t.Fatalf("key frame outside segment: %v", s)
+		}
+		next = s.End + 1
+	}
+	if next != v.Len() {
+		t.Fatalf("segments end at %d of %d", next, v.Len())
+	}
+}
+
+func TestExtractWithBoundaryCap(t *testing.T) {
+	v := sceneVideo(t, 1, 20)
+	cfg := DefaultBoundaryConfig()
+	cfg.MaxSegmentLen = 4
+	res, err := ExtractWithBoundary(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 5 {
+		t.Fatalf("segments = %d, want 5", len(res.Segments))
+	}
+}
+
+func TestExtractWithBoundaryEmpty(t *testing.T) {
+	if _, err := ExtractWithBoundary(vid.New("e", 4, 4, 30), DefaultBoundaryConfig()); !errors.Is(err, ErrEmptyVideo) {
+		t.Fatalf("want ErrEmptyVideo, got %v", err)
+	}
+}
+
+func TestExtractByMethod(t *testing.T) {
+	v := sceneVideo(t, 2, 6)
+	for _, m := range []string{MethodClustering, MethodBoundary} {
+		res, err := ExtractByMethod(m, v, DefaultConfig(), DefaultBoundaryConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(res.KeyFrames) == 0 {
+			t.Fatalf("%s: no key frames", m)
+		}
+	}
+	if _, err := ExtractByMethod("nope", v, DefaultConfig(), DefaultBoundaryConfig()); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}

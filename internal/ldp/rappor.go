@@ -1,0 +1,184 @@
+package ldp
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// This file is a reference implementation of RAPPOR (Erlingsson, Pihur,
+// Korolova — CCS 2014), the mechanism VERRO's Phase I optimizes: strings
+// are encoded into a Bloom filter, memoized through a *permanent*
+// randomized response, and re-randomized per report by an *instantaneous*
+// randomized response. VERRO replaces the Bloom-filter encoding with the
+// object presence vector (paper Theorem 3.3 "by replacing the encoded bit
+// vectors of bloom filter as the object presence vectors"); keeping the
+// full mechanism here documents that lineage and provides the aggregate
+// decoding used for noise cancellation.
+
+// RapporConfig parameterizes the mechanism.
+type RapporConfig struct {
+	// Bits is the Bloom filter width k.
+	Bits int
+	// Hashes is the number of hash functions h.
+	Hashes int
+	// F is the permanent response noise (Equation 4's f).
+	F float64
+	// P and Q are the instantaneous response probabilities:
+	// P(report 1 | permanent 0) = P, P(report 1 | permanent 1) = Q.
+	P, Q float64
+}
+
+// DefaultRapporConfig mirrors the reference deployment (128 bits, 2
+// hashes, f=0.5, p=0.5, q=0.75).
+func DefaultRapporConfig() RapporConfig {
+	return RapporConfig{Bits: 128, Hashes: 2, F: 0.5, P: 0.5, Q: 0.75}
+}
+
+// Validate checks the parameters.
+func (c RapporConfig) Validate() error {
+	if c.Bits <= 0 || c.Hashes <= 0 {
+		return fmt.Errorf("%w: bits %d hashes %d", ErrBudget, c.Bits, c.Hashes)
+	}
+	if c.F < 0 || c.F > 1 || c.P < 0 || c.P > 1 || c.Q < 0 || c.Q > 1 {
+		return fmt.Errorf("%w: probabilities out of range", ErrBudget)
+	}
+	return nil
+}
+
+// Epsilon returns the ε of the permanent randomized response, the bound
+// RAPPOR's privacy argument rests on: ε = 2h·ln((1−f/2)/(f/2)).
+func (c RapporConfig) Epsilon() (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if c.F == 0 {
+		return math.Inf(1), nil
+	}
+	return 2 * float64(c.Hashes) * math.Log((1-c.F/2)/(c.F/2)), nil
+}
+
+// BloomEncode hashes value into a Bits-wide Bloom filter.
+func (c RapporConfig) BloomEncode(value string) (BitVector, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBitVector(c.Bits)
+	for i := 0; i < c.Hashes; i++ {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%s", i, value)
+		b[int(h.Sum64()%uint64(c.Bits))] = true
+	}
+	return b, nil
+}
+
+// Client is one RAPPOR reporter: it memoizes the permanent randomized
+// response of its true value and emits fresh instantaneous reports.
+type Client struct {
+	cfg       RapporConfig
+	permanent BitVector
+	rng       *rand.Rand
+}
+
+// NewClient encodes value and fixes its permanent response.
+func NewClient(value string, cfg RapporConfig, rng *rand.Rand) (*Client, error) {
+	bloom, err := cfg.BloomEncode(value)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := RAPPORFlip(bloom, cfg.F, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{cfg: cfg, permanent: perm, rng: rng}, nil
+}
+
+// Permanent returns a copy of the memoized permanent response.
+func (c *Client) Permanent() BitVector { return c.permanent.Clone() }
+
+// Report emits one instantaneous randomized response.
+func (c *Client) Report() BitVector {
+	out := NewBitVector(len(c.permanent))
+	for i, bit := range c.permanent {
+		p := c.cfg.P
+		if bit {
+			p = c.cfg.Q
+		}
+		out[i] = c.rng.Float64() < p
+	}
+	return out
+}
+
+// ErrNoReports is returned by Decode on empty input.
+var ErrNoReports = errors.New("ldp: no reports")
+
+// DecodeCounts estimates, per Bloom bit, the number of clients whose true
+// Bloom bit is set, from the aggregated instantaneous reports — the
+// standard RAPPOR two-stage unbiasing. reports must all have Bits width.
+func DecodeCounts(reports []BitVector, cfg RapporConfig) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(reports) == 0 {
+		return nil, ErrNoReports
+	}
+	n := float64(len(reports))
+	counts := make([]float64, cfg.Bits)
+	for _, r := range reports {
+		if len(r) != cfg.Bits {
+			return nil, fmt.Errorf("ldp: report width %d, want %d", len(r), cfg.Bits)
+		}
+		for i, bit := range r {
+			if bit {
+				counts[i]++
+			}
+		}
+	}
+	// Stage 1: undo the instantaneous response. E[obs] = t1·q + (n−t1)·p
+	// where t1 is the count of set permanent bits.
+	out := make([]float64, cfg.Bits)
+	for i, obs := range counts {
+		if cfg.Q == cfg.P {
+			out[i] = 0
+			continue
+		}
+		t1 := (obs - n*cfg.P) / (cfg.Q - cfg.P)
+		// Stage 2: undo the permanent response. E[t1] = t·(1−f/2) + (n−t)·f/2.
+		if cfg.F >= 1 {
+			out[i] = n / 2
+			continue
+		}
+		t := (t1 - n*cfg.F/2) / (1 - cfg.F)
+		out[i] = t
+	}
+	return out, nil
+}
+
+// EstimateFrequency estimates how many of the reporting clients hold the
+// candidate value: the mean unbiased count over the candidate's Bloom bits
+// (a simplification of RAPPOR's lasso regression adequate for small,
+// known candidate sets).
+func EstimateFrequency(value string, reports []BitVector, cfg RapporConfig) (float64, error) {
+	counts, err := DecodeCounts(reports, cfg)
+	if err != nil {
+		return 0, err
+	}
+	bloom, err := cfg.BloomEncode(value)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	k := 0
+	for i, bit := range bloom {
+		if bit {
+			sum += counts[i]
+			k++
+		}
+	}
+	if k == 0 {
+		return 0, nil
+	}
+	return sum / float64(k), nil
+}

@@ -1,0 +1,167 @@
+package ldp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRapporConfigValidate(t *testing.T) {
+	if err := DefaultRapporConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []RapporConfig{
+		{Bits: 0, Hashes: 2, F: 0.5, P: 0.5, Q: 0.75},
+		{Bits: 8, Hashes: 0, F: 0.5, P: 0.5, Q: 0.75},
+		{Bits: 8, Hashes: 2, F: -0.1, P: 0.5, Q: 0.75},
+		{Bits: 8, Hashes: 2, F: 0.5, P: 1.5, Q: 0.75},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestRapporEpsilon(t *testing.T) {
+	c := DefaultRapporConfig() // h=2, f=0.5: eps = 4·ln(0.75/0.25) = 4 ln 3
+	eps, err := c.Epsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-4*math.Log(3)) > 1e-12 {
+		t.Fatalf("eps = %v, want %v", eps, 4*math.Log(3))
+	}
+	c.F = 0
+	if eps, _ := c.Epsilon(); !math.IsInf(eps, 1) {
+		t.Fatal("f=0 should be infinite epsilon")
+	}
+}
+
+func TestBloomEncodeDeterministicAndSelective(t *testing.T) {
+	c := DefaultRapporConfig()
+	a1, err := c.BloomEncode("apple")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := c.BloomEncode("apple")
+	if Hamming(a1, a2) != 0 {
+		t.Fatal("encoding not deterministic")
+	}
+	if a1.Ones() == 0 || a1.Ones() > c.Hashes {
+		t.Fatalf("ones = %d", a1.Ones())
+	}
+	b, _ := c.BloomEncode("banana")
+	if Hamming(a1, b) == 0 {
+		t.Fatal("different values should (almost surely) differ")
+	}
+}
+
+func TestClientPermanentIsMemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := NewClient("apple", DefaultRapporConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.Permanent()
+	p2 := c.Permanent()
+	if Hamming(p1, p2) != 0 {
+		t.Fatal("permanent response must not change")
+	}
+	// Mutating the copy must not affect the client.
+	p1[0] = !p1[0]
+	if Hamming(c.Permanent(), p2) != 0 {
+		t.Fatal("Permanent returned shared storage")
+	}
+}
+
+func TestReportsVary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c, err := NewClient("apple", DefaultRapporConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := c.Report()
+	r2 := c.Report()
+	if Hamming(r1, r2) == 0 {
+		t.Fatal("instantaneous reports should differ between calls")
+	}
+}
+
+func TestDecodeRecoversFrequencies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := RapporConfig{Bits: 64, Hashes: 2, F: 0.3, P: 0.4, Q: 0.8}
+	// 700 clients hold "apple", 300 hold "banana".
+	var reports []BitVector
+	for i := 0; i < 700; i++ {
+		c, err := NewClient("apple", cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, c.Report())
+	}
+	for i := 0; i < 300; i++ {
+		c, err := NewClient("banana", cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, c.Report())
+	}
+	apple, err := EstimateFrequency("apple", reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banana, err := EstimateFrequency("banana", reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cherry, err := EstimateFrequency("cherry", reports, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(apple-700) > 120 {
+		t.Fatalf("apple estimate %v, want ~700", apple)
+	}
+	if math.Abs(banana-300) > 120 {
+		t.Fatalf("banana estimate %v, want ~300", banana)
+	}
+	if cherry > 250 {
+		t.Fatalf("absent value estimated at %v", cherry)
+	}
+	if apple <= banana || banana <= cherry-100 {
+		t.Fatalf("ordering broken: %v %v %v", apple, banana, cherry)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	cfg := DefaultRapporConfig()
+	if _, err := DecodeCounts(nil, cfg); err == nil {
+		t.Fatal("no reports should fail")
+	}
+	if _, err := DecodeCounts([]BitVector{NewBitVector(3)}, cfg); err == nil {
+		t.Fatal("width mismatch should fail")
+	}
+	// Degenerate p == q: no information; counts decode to zeros.
+	deg := RapporConfig{Bits: 8, Hashes: 1, F: 0.5, P: 0.5, Q: 0.5}
+	out, err := DecodeCounts([]BitVector{NewBitVector(8)}, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("degenerate config should decode to zeros")
+		}
+	}
+}
+
+func TestEstimateFrequencyEmptyValue(t *testing.T) {
+	cfg := DefaultRapporConfig()
+	rng := rand.New(rand.NewSource(4))
+	c, err := NewClient("x", cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateFrequency("x", []BitVector{c.Report()}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

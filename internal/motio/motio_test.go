@@ -1,0 +1,205 @@
+package motio
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"verro/internal/geom"
+)
+
+func sampleSet() *TrackSet {
+	s := NewTrackSet()
+	t1 := NewTrack(1, "pedestrian")
+	t1.Set(0, geom.RectAt(10, 10, 4, 8))
+	t1.Set(1, geom.RectAt(12, 10, 4, 8))
+	t1.Set(5, geom.RectAt(20, 10, 4, 8))
+	t2 := NewTrack(2, "vehicle")
+	t2.Set(1, geom.RectAt(50, 40, 16, 8))
+	s.Add(t1)
+	s.Add(t2)
+	return s
+}
+
+func TestTrackBasics(t *testing.T) {
+	s := sampleSet()
+	tr := s.ByID(1)
+	if tr == nil {
+		t.Fatal("ByID(1) = nil")
+	}
+	if !tr.Present(0) || tr.Present(2) {
+		t.Fatal("presence wrong")
+	}
+	if got := tr.Frames(); !reflect.DeepEqual(got, []int{0, 1, 5}) {
+		t.Fatalf("Frames = %v", got)
+	}
+	first, last, ok := tr.Span()
+	if !ok || first != 0 || last != 5 {
+		t.Fatalf("Span = %d,%d,%t", first, last, ok)
+	}
+	if c, ok := tr.Center(0); !ok || c != geom.V(12, 14) {
+		t.Fatalf("Center = %v,%t", c, ok)
+	}
+	if _, ok := tr.Center(99); ok {
+		t.Fatal("Center of absent frame should be !ok")
+	}
+	frames, centers := tr.Trajectory()
+	if len(frames) != 3 || len(centers) != 3 {
+		t.Fatalf("Trajectory lengths %d,%d", len(frames), len(centers))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if s.ByID(42) != nil {
+		t.Fatal("missing ID should return nil")
+	}
+}
+
+func TestEmptyTrackSpan(t *testing.T) {
+	tr := NewTrack(7, "pedestrian")
+	if _, _, ok := tr.Span(); ok {
+		t.Fatal("empty track should have no span")
+	}
+}
+
+func TestCountSeries(t *testing.T) {
+	s := sampleSet()
+	got := s.CountSeries(6)
+	want := []int{1, 2, 0, 0, 0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("CountSeries = %v, want %v", got, want)
+	}
+	if s.CountInFrame(1) != 2 {
+		t.Fatalf("CountInFrame(1) = %d", s.CountInFrame(1))
+	}
+	if s.MaxFrame() != 5 {
+		t.Fatalf("MaxFrame = %d", s.MaxFrame())
+	}
+	if NewTrackSet().MaxFrame() != -1 {
+		t.Fatal("empty set MaxFrame should be -1")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	s := sampleSet()
+	c := s.Clone()
+	c.ByID(1).Set(0, geom.RectAt(0, 0, 1, 1))
+	if b, _ := s.ByID(1).Box(0); b == geom.RectAt(0, 0, 1, 1) {
+		t.Fatal("clone shares box maps")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := sampleSet()
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), s.Len())
+	}
+	for _, orig := range s.Tracks {
+		got := back.ByID(orig.ID)
+		if got == nil {
+			t.Fatalf("missing track %d", orig.ID)
+		}
+		if got.Class != orig.Class {
+			t.Fatalf("class %q != %q", got.Class, orig.Class)
+		}
+		if !reflect.DeepEqual(got.Boxes, orig.Boxes) {
+			t.Fatalf("boxes mismatch for %d: %v vs %v", orig.ID, got.Boxes, orig.Boxes)
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	s := sampleSet()
+	path := t.TempDir() + "/gt/tracks.csv"
+	if err := s.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("Len = %d", back.Len())
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"frame,id,class,x,y,w,h\n1,2,ped,3,4\n",     // too few fields
+		"frame,id,class,x,y,w,h\na,2,ped,3,4,5,6\n", // non-numeric
+		"frame,id,class,x,y,w,h\n1,2,ped,3,4,x,6\n", // non-numeric size
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("ReadCSV(%q) should fail", c)
+		}
+	}
+}
+
+func TestSeriesTableRoundTrip(t *testing.T) {
+	tab := NewSeriesTable("f", []float64{0.1, 0.5, 0.9})
+	tab.MustAddColumn("original", []float64{23, 23, 23})
+	tab.MustAddColumn("rr", []float64{17, 16, 15})
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.XName != "f" || !reflect.DeepEqual(back.X, tab.X) {
+		t.Fatalf("x mismatch: %v", back.X)
+	}
+	if len(back.Cols) != 2 || back.Cols[1].Name != "rr" {
+		t.Fatalf("cols mismatch: %+v", back.Cols)
+	}
+	if !reflect.DeepEqual(back.Cols[0].Samples, tab.Cols[0].Samples) {
+		t.Fatal("sample mismatch")
+	}
+}
+
+func TestSeriesTableValidation(t *testing.T) {
+	tab := NewSeriesTable("x", []float64{1, 2})
+	if err := tab.AddColumn("bad", []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAddColumn should panic")
+		}
+	}()
+	tab.MustAddColumn("bad", []float64{1})
+}
+
+func TestSeriesSaveCSV(t *testing.T) {
+	tab := NewSeriesTable("frame", []float64{0, 1})
+	tab.MustAddColumn("count", []float64{3, 4})
+	path := t.TempDir() + "/series/fig.csv"
+	if err := tab.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := LoadCSVSeries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.X) != 2 {
+		t.Fatalf("X = %v", f.X)
+	}
+}
+
+func TestIntsToFloats(t *testing.T) {
+	got := IntsToFloats([]int{1, 2, 3})
+	if !reflect.DeepEqual(got, []float64{1, 2, 3}) {
+		t.Fatalf("IntsToFloats = %v", got)
+	}
+}

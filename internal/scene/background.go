@@ -1,0 +1,128 @@
+package scene
+
+import (
+	"verro/internal/geom"
+	"verro/internal/img"
+)
+
+// Style selects the background painter.
+type Style int
+
+// Background styles matching the three benchmark sequences.
+const (
+	StyleSquare      Style = iota // MOT01: daylight plaza
+	StyleNightStreet              // MOT03: street at night
+	StyleStreet                   // MOT06: daylight street (moving camera)
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleSquare:
+		return "square"
+	case StyleNightStreet:
+		return "night-street"
+	case StyleStreet:
+		return "street"
+	default:
+		return "unknown"
+	}
+}
+
+// PaintBackground renders a deterministic, textured background of the given
+// style. The texture (noise, pavement joints, facades) matters: key-frame
+// clustering, inpainting and HOG all behave differently on flat images.
+func PaintBackground(style Style, w, h int, seed uint64) *img.Image {
+	m := img.New(w, h)
+	switch style {
+	case StyleNightStreet:
+		paintNightStreet(m, seed)
+	case StyleStreet:
+		paintStreet(m, seed)
+	default:
+		paintSquare(m, seed)
+	}
+	return m
+}
+
+func paintSquare(m *img.Image, seed uint64) {
+	// Sky band, building band, plaza.
+	skyH := m.H / 5
+	m.Fill(geom.R(0, 0, m.W, skyH), img.RGB{R: 176, G: 206, B: 235})
+	buildH := m.H * 2 / 5
+	m.Fill(geom.R(0, skyH, m.W, buildH), img.RGB{R: 150, G: 140, B: 130})
+	// Windows on the facade.
+	for x := m.W / 20; x < m.W; x += m.W / 10 {
+		for y := skyH + 2; y < buildH-3; y += (buildH - skyH) / 4 {
+			m.Fill(geom.RectAt(x, y, m.W/40+1, (buildH-skyH)/8+1), img.RGB{R: 90, G: 100, B: 120})
+		}
+	}
+	// Plaza with paving joints.
+	m.Fill(geom.R(0, buildH, m.W, m.H), img.RGB{R: 190, G: 182, B: 170})
+	joint := img.RGB{R: 168, G: 160, B: 148}
+	for y := buildH; y < m.H; y += maxInt(m.H/12, 2) {
+		m.Fill(geom.R(0, y, m.W, y+1), joint)
+	}
+	for x := 0; x < m.W; x += maxInt(m.W/16, 2) {
+		m.Fill(geom.R(x, buildH, x+1, m.H), joint)
+	}
+	m.AddNoise(6, seed)
+}
+
+func paintNightStreet(m *img.Image, seed uint64) {
+	// Dark sky, lit storefronts, asphalt.
+	skyH := m.H / 4
+	m.VerticalGradient(img.RGB{R: 10, G: 12, B: 28}, img.RGB{R: 30, G: 32, B: 52})
+	storeH := m.H / 2
+	m.Fill(geom.R(0, skyH, m.W, storeH), img.RGB{R: 44, G: 38, B: 52})
+	// Bright shop windows — the light pools the paper's night video shows.
+	for i, x := 0, m.W/24; x < m.W-m.W/12; i, x = i+1, x+m.W/8 {
+		c := img.RGB{R: 235, G: 210, B: 130}
+		if i%3 == 1 {
+			c = img.RGB{R: 140, G: 200, B: 235}
+		}
+		m.Fill(geom.RectAt(x, skyH+2, m.W/14, storeH-skyH-6), c)
+	}
+	// Asphalt with lane markings.
+	m.Fill(geom.R(0, storeH, m.W, m.H), img.RGB{R: 38, G: 38, B: 42})
+	for x := 0; x < m.W; x += m.W / 8 {
+		m.Fill(geom.RectAt(x, storeH+(m.H-storeH)/2, m.W/16, 2), img.RGB{R: 150, G: 150, B: 120})
+	}
+	m.AddNoise(8, seed)
+}
+
+func paintStreet(m *img.Image, seed uint64) {
+	skyH := m.H / 4
+	m.Fill(geom.R(0, 0, m.W, skyH), img.RGB{R: 196, G: 216, B: 238})
+	// Row houses with varying tones so a panning camera sees change.
+	houseH := m.H * 11 / 20
+	tones := []img.RGB{
+		{R: 168, G: 130, B: 110},
+		{R: 140, G: 148, B: 132},
+		{R: 178, G: 160, B: 120},
+		{R: 120, G: 128, B: 150},
+	}
+	hw := maxInt(m.W/9, 4)
+	for i, x := 0, 0; x < m.W; i, x = i+1, x+hw {
+		m.Fill(geom.R(x, skyH, x+hw, houseH), tones[i%len(tones)])
+		// Door.
+		m.Fill(geom.RectAt(x+hw/3, houseH-(houseH-skyH)/3, hw/4+1, (houseH-skyH)/3), img.RGB{R: 70, G: 50, B: 40})
+	}
+	// Sidewalk and road.
+	walkH := m.H * 15 / 20
+	m.Fill(geom.R(0, houseH, m.W, walkH), img.RGB{R: 180, G: 176, B: 168})
+	m.Fill(geom.R(0, walkH, m.W, m.H), img.RGB{R: 90, G: 90, B: 96})
+	m.AddNoise(6, seed)
+}
+
+// PanoramaForPan builds a background wide enough that a w-wide viewport can
+// pan by panRange pixels across it, for moving-camera sequences.
+func PanoramaForPan(style Style, w, h, panRange int, seed uint64) *img.Image {
+	return PaintBackground(style, w+panRange, h, seed)
+}
+
+// ViewportAt crops the w×h viewport at horizontal pan offset dx from the
+// panorama.
+func ViewportAt(pano *img.Image, w, h, dx int) *img.Image {
+	dx = geom.Clamp(dx, 0, pano.W-w)
+	return pano.SubImage(geom.RectAt(dx, 0, w, h))
+}

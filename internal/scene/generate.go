@@ -1,0 +1,225 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"verro/internal/geom"
+	"verro/internal/img"
+	"verro/internal/motio"
+	"verro/internal/vid"
+)
+
+// Preset describes one benchmark video to generate. The three MOT presets
+// reproduce the frame counts, object counts and camera motion of the
+// paper's Table 1 at a resolution sized for a small machine.
+type Preset struct {
+	Name    string
+	W, H    int
+	Frames  int
+	Objects int
+	FPS     float64
+	Moving  bool
+	Style   Style
+	Class   ObjectClass
+	Seed    int64
+	// PanRange is the total horizontal camera travel for moving presets.
+	PanRange int
+}
+
+// MOT01 mirrors MOT16-01: people walking around a large square, static
+// camera, 450 frames, 23 pedestrians.
+func MOT01() Preset {
+	return Preset{
+		Name: "MOT01", W: 384, H: 216, Frames: 450, Objects: 23,
+		FPS: 30, Moving: false, Style: StyleSquare, Class: Pedestrian, Seed: 109,
+	}
+}
+
+// MOT03 mirrors MOT16-03: pedestrians on a street at night, static camera,
+// 1500 frames, 148 pedestrians.
+func MOT03() Preset {
+	return Preset{
+		Name: "MOT03", W: 384, H: 216, Frames: 1500, Objects: 148,
+		FPS: 30, Moving: false, Style: StyleNightStreet, Class: Pedestrian, Seed: 103,
+	}
+}
+
+// MOT06 mirrors MOT16-06: street scene from a moving platform, 1194
+// frames, 221 pedestrians.
+func MOT06() Preset {
+	return Preset{
+		Name: "MOT06", W: 320, H: 240, Frames: 1194, Objects: 221,
+		FPS: 14, Moving: true, Style: StyleStreet, Class: Pedestrian, Seed: 106,
+		PanRange: 320,
+	}
+}
+
+// Presets returns the three benchmark presets in paper order.
+func Presets() []Preset { return []Preset{MOT01(), MOT03(), MOT06()} }
+
+// PresetByName looks a preset up by its table name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("scene: unknown preset %q", name)
+}
+
+// Scaled returns a copy of p with geometry and population scaled by factor
+// (0 < factor ≤ 1), for fast tests and examples.
+func (p Preset) Scaled(factor float64) Preset {
+	s := p
+	s.W = maxInt(int(float64(p.W)*factor), 48)
+	s.H = maxInt(int(float64(p.H)*factor), 36)
+	s.Frames = maxInt(int(float64(p.Frames)*factor), 10)
+	s.Objects = maxInt(int(float64(p.Objects)*factor), 2)
+	s.PanRange = int(float64(p.PanRange) * factor)
+	s.Name = fmt.Sprintf("%s-x%.2g", p.Name, factor)
+	return s
+}
+
+// Generated bundles a generated video with its ground truth.
+type Generated struct {
+	Preset Preset
+	Video  *vid.Video
+	Truth  *motio.TrackSet
+	// CleanBackground holds, for each frame, the background image before
+	// any object was drawn — the oracle against which inpainting quality
+	// can be measured.
+	CleanBackground []*img.Image
+	// PanOffsets records the camera pan offset per frame (all zero for
+	// static presets).
+	PanOffsets []int
+}
+
+// panOffsetAt eases the camera across the panned range over the whole
+// video (smooth cosine ramp).
+func panOffsetAt(k, frames, panRange int) int {
+	t := float64(k) / float64(maxInt(frames-1, 1))
+	return int(math.Round(float64(panRange) * 0.5 * (1 - math.Cos(t*math.Pi))))
+}
+
+// Generate renders the preset into a video plus exact ground-truth tracks.
+// Rendering is fully deterministic for a given preset.
+func Generate(p Preset) (*Generated, error) {
+	if p.W <= 0 || p.H <= 0 || p.Frames <= 0 {
+		return nil, fmt.Errorf("scene: invalid preset geometry %+v", p)
+	}
+	if p.Objects < 0 {
+		return nil, fmt.Errorf("scene: negative object count %d", p.Objects)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	// Background: one image for static cameras; a panorama plus per-frame
+	// viewports for moving ones.
+	var pano *img.Image
+	if p.Moving {
+		pan := p.PanRange
+		if pan <= 0 {
+			pan = p.W
+		}
+		pano = PanoramaForPan(p.Style, p.W, p.H, pan, uint64(p.Seed))
+	} else {
+		pano = PaintBackground(p.Style, p.W, p.H, uint64(p.Seed))
+	}
+
+	plans := PlanObjects(p.Objects, p.Frames, p.W, p.H, p.Style, p.Class, rng)
+	if p.Moving {
+		// Objects live in world coordinates. Each plan was laid out in
+		// viewport coordinates; anchor it to the world region the camera
+		// shows at the object's entry time (screen x = world x − 0.6·dx
+		// given the foreground parallax), so objects appear on screen when
+		// they enter and drift out as the camera sweeps on.
+		for _, plan := range plans {
+			dxEnter := panOffsetAt(plan.Enter, p.Frames, pano.W-p.W)
+			shift := 0.6 * float64(dxEnter)
+			for i := range plan.positions {
+				plan.positions[i].X += shift
+			}
+		}
+	}
+
+	v := vid.New(p.Name, p.W, p.H, p.FPS)
+	v.Moving = p.Moving
+	truth := motio.NewTrackSet()
+	tracks := make(map[int]*motio.Track, len(plans))
+	for _, plan := range plans {
+		t := motio.NewTrack(plan.ID, plan.Class.String())
+		tracks[plan.ID] = t
+		truth.Add(t)
+	}
+
+	gen := &Generated{Preset: p, Video: v, Truth: truth}
+	bounds := geom.R(0, 0, p.W, p.H)
+	for k := 0; k < p.Frames; k++ {
+		dx := 0
+		if p.Moving {
+			dx = panOffsetAt(k, p.Frames, pano.W-p.W)
+		}
+		var frame *img.Image
+		if p.Moving {
+			frame = ViewportAt(pano, p.W, p.H, dx)
+		} else {
+			frame = pano.Clone()
+		}
+		gen.CleanBackground = append(gen.CleanBackground, frame.Clone())
+		gen.PanOffsets = append(gen.PanOffsets, dx)
+
+		// Draw objects back-to-front (smaller y first) so nearer objects
+		// occlude farther ones.
+		type draw struct {
+			plan *ObjectPlan
+			pos  geom.Vec
+		}
+		var draws []draw
+		for _, plan := range plans {
+			pos, ok := plan.PosAt(k)
+			if !ok {
+				continue
+			}
+			// Moving camera: object world-x shifts against the pan.
+			if p.Moving {
+				pos.X -= float64(dx) * 0.6 // parallax: objects nearer than facades
+			}
+			draws = append(draws, draw{plan, pos})
+		}
+		for i := 1; i < len(draws); i++ { // insertion sort by y (small lists)
+			for j := i; j > 0 && draws[j].pos.Y < draws[j-1].pos.Y; j-- {
+				draws[j], draws[j-1] = draws[j-1], draws[j]
+			}
+		}
+		// Per-frame sensor noise: real cameras never produce two identical
+		// frames. Without it the entropy-based key-frame election of
+		// Algorithm 2 is dominated by the sprites themselves, which biases
+		// key frames toward object-rich frames in a way real footage does
+		// not exhibit.
+		frame.AddNoise(2, uint64(p.Seed)*1_000_003+uint64(k))
+
+		for _, d := range draws {
+			phase := float64(k) * 0.35
+			box := DrawObject(frame, d.plan.Class, Palette(d.plan.ID), d.pos, phase)
+			vis := box.Intersect(bounds)
+			// Only record ground truth when a meaningful part is visible.
+			if vis.Area()*2 >= box.Area() && box.Area() > 0 {
+				tracks[d.plan.ID].Set(k, vis)
+			}
+		}
+		if err := v.Append(frame); err != nil {
+			return nil, err
+		}
+	}
+
+	// Drop objects that never became visible (fully clipped trajectories).
+	kept := motio.NewTrackSet()
+	for _, t := range truth.Tracks {
+		if t.Len() > 0 {
+			kept.Add(t)
+		}
+	}
+	gen.Truth = kept
+	return gen, nil
+}

@@ -1,0 +1,313 @@
+package scene
+
+import (
+	"math/rand"
+	"testing"
+
+	"verro/internal/geom"
+	"verro/internal/img"
+)
+
+func TestPresetsMatchPaperTable1(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 3 {
+		t.Fatalf("presets = %d", len(ps))
+	}
+	wantFrames := map[string]int{"MOT01": 450, "MOT03": 1500, "MOT06": 1194}
+	wantObjects := map[string]int{"MOT01": 23, "MOT03": 148, "MOT06": 221}
+	wantMoving := map[string]bool{"MOT01": false, "MOT03": false, "MOT06": true}
+	for _, p := range ps {
+		if p.Frames != wantFrames[p.Name] {
+			t.Errorf("%s frames = %d, want %d", p.Name, p.Frames, wantFrames[p.Name])
+		}
+		if p.Objects != wantObjects[p.Name] {
+			t.Errorf("%s objects = %d, want %d", p.Name, p.Objects, wantObjects[p.Name])
+		}
+		if p.Moving != wantMoving[p.Name] {
+			t.Errorf("%s moving = %t", p.Name, p.Moving)
+		}
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("MOT03")
+	if err != nil || p.Name != "MOT03" {
+		t.Fatalf("%v %v", p, err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := MOT01().Scaled(0.25)
+	if p.Frames >= MOT01().Frames || p.Objects >= MOT01().Objects {
+		t.Fatalf("scaled preset not smaller: %+v", p)
+	}
+	tiny := MOT01().Scaled(0.0001)
+	if tiny.W < 48 || tiny.Frames < 10 || tiny.Objects < 2 {
+		t.Fatalf("scaling floor violated: %+v", tiny)
+	}
+}
+
+func smallPreset() Preset {
+	return Preset{
+		Name: "small", W: 96, H: 72, Frames: 40, Objects: 5,
+		FPS: 30, Style: StyleSquare, Class: Pedestrian, Seed: 9,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	g, err := Generate(smallPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Video.Len() != 40 {
+		t.Fatalf("frames = %d", g.Video.Len())
+	}
+	if len(g.CleanBackground) != 40 || len(g.PanOffsets) != 40 {
+		t.Fatal("per-frame metadata missing")
+	}
+	if g.Truth.Len() == 0 || g.Truth.Len() > 5 {
+		t.Fatalf("truth objects = %d", g.Truth.Len())
+	}
+	// Ground-truth boxes lie within frame bounds.
+	bounds := geom.R(0, 0, 96, 72)
+	for _, tr := range g.Truth.Tracks {
+		for k, b := range tr.Boxes {
+			if !bounds.Contains(b) {
+				t.Fatalf("track %d frame %d box %v outside bounds", tr.ID, k, b)
+			}
+			if b.Empty() {
+				t.Fatalf("track %d frame %d empty box", tr.ID, k)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g1, err := Generate(smallPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Generate(smallPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < g1.Video.Len(); k++ {
+		if !g1.Video.Frame(k).Equal(g2.Video.Frame(k)) {
+			t.Fatalf("frame %d differs between runs", k)
+		}
+	}
+	if g1.Truth.Len() != g2.Truth.Len() {
+		t.Fatal("truth differs between runs")
+	}
+}
+
+func TestGenerateObjectsActuallyDrawn(t *testing.T) {
+	g, err := Generate(smallPreset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wherever ground truth claims an object, the frame must differ from
+	// the clean background inside the box.
+	checked := 0
+	for _, tr := range g.Truth.Tracks {
+		for k, b := range tr.Boxes {
+			frame := g.Video.Frame(k)
+			clean := g.CleanBackground[k]
+			diff := 0
+			for y := b.Min.Y; y < b.Max.Y; y++ {
+				for x := b.Min.X; x < b.Max.X; x++ {
+					if frame.At(x, y) != clean.At(x, y) {
+						diff++
+					}
+				}
+			}
+			if diff == 0 {
+				t.Fatalf("track %d frame %d: no pixels drawn in %v", tr.ID, k, b)
+			}
+			checked++
+			if checked > 50 {
+				return
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no ground truth boxes to check")
+	}
+}
+
+func TestGenerateMovingCameraPans(t *testing.T) {
+	p := smallPreset()
+	p.Moving = true
+	p.PanRange = 60
+	p.Style = StyleStreet
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := g.PanOffsets[0], g.PanOffsets[len(g.PanOffsets)-1]
+	if first != 0 || last < 50 {
+		t.Fatalf("pan offsets: first=%d last=%d", first, last)
+	}
+	// Backgrounds must change over time for the moving camera.
+	if g.CleanBackground[0].Equal(g.CleanBackground[len(g.CleanBackground)-1]) {
+		t.Fatal("moving camera should change the background")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := smallPreset()
+	bad.W = 0
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("zero width should fail")
+	}
+	neg := smallPreset()
+	neg.Objects = -1
+	if _, err := Generate(neg); err == nil {
+		t.Fatal("negative objects should fail")
+	}
+}
+
+func TestGenerateZeroObjects(t *testing.T) {
+	p := smallPreset()
+	p.Objects = 0
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Truth.Len() != 0 {
+		t.Fatalf("expected no objects, got %d", g.Truth.Len())
+	}
+	// Frames differ from the clean background only by per-frame sensor
+	// noise (small amplitude), never by drawn content.
+	for k := 0; k < g.Video.Len(); k++ {
+		if d := g.Video.Frame(k).MeanAbsDiff(g.CleanBackground[k]); d > 3 {
+			t.Fatalf("frame %d deviates from background by %v with no objects", k, d)
+		}
+	}
+}
+
+func TestDepthScale(t *testing.T) {
+	if DepthScale(0, 100) >= DepthScale(99, 100) {
+		t.Fatal("objects lower in the frame must be larger")
+	}
+	if DepthScale(50, 1) != 1 {
+		t.Fatal("degenerate frame height should return 1")
+	}
+}
+
+func TestSpriteSizeFloors(t *testing.T) {
+	w, h := SpriteSize(Pedestrian, 0.01)
+	if w < 3 || h < 5 {
+		t.Fatalf("sprite too small: %dx%d", w, h)
+	}
+	wv, hv := SpriteSize(Vehicle, 1)
+	if wv <= hv {
+		t.Fatal("vehicles should be wider than tall")
+	}
+}
+
+func TestPaletteDistinct(t *testing.T) {
+	seen := map[img.RGB]bool{}
+	for i := 0; i < 64; i++ {
+		c := Palette(i)
+		if seen[c] {
+			t.Fatalf("palette repeats at %d: %v", i, c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestRenderSpriteHasOpaquePixels(t *testing.T) {
+	for _, class := range []ObjectClass{Pedestrian, Vehicle} {
+		sp := RenderSprite(class, img.RGB{R: 200, G: 0, B: 0}, 10, 24, 0)
+		opaque := 0
+		for y := 0; y < sp.H; y++ {
+			for x := 0; x < sp.W; x++ {
+				if sp.At(x, y) != spriteKey {
+					opaque++
+				}
+			}
+		}
+		if opaque == 0 {
+			t.Fatalf("%v sprite entirely transparent", class)
+		}
+	}
+}
+
+func TestPlanObjectsSpreadsEntries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	plans := PlanObjects(10, 300, 96, 72, StyleSquare, Pedestrian, rng)
+	if len(plans) != 10 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for i, p := range plans {
+		if p.Enter < 0 || p.Enter >= 300 || p.Exit < p.Enter {
+			t.Fatalf("plan %d has bad lifetime [%d,%d]", i, p.Enter, p.Exit)
+		}
+		if _, ok := p.PosAt(p.Enter); !ok {
+			t.Fatalf("plan %d missing position at entry", i)
+		}
+		if _, ok := p.PosAt(p.Enter - 1); ok {
+			t.Fatalf("plan %d present before entry", i)
+		}
+	}
+	// Entries should span the video, not cluster at frame 0.
+	lastEnter := plans[len(plans)-1].Enter
+	if lastEnter < 150 {
+		t.Fatalf("entries clustered early: last enter %d", lastEnter)
+	}
+}
+
+func TestObjectClassString(t *testing.T) {
+	if Pedestrian.String() != "pedestrian" || Vehicle.String() != "vehicle" {
+		t.Fatal("class names wrong")
+	}
+	if ObjectClass(9).String() != "object" {
+		t.Fatal("unknown class should be 'object'")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	for _, s := range []Style{StyleSquare, StyleNightStreet, StyleStreet} {
+		if s.String() == "unknown" {
+			t.Fatalf("style %d has no name", s)
+		}
+	}
+	if Style(9).String() != "unknown" {
+		t.Fatal("unknown style name wrong")
+	}
+}
+
+func TestViewportAtClamps(t *testing.T) {
+	pano := PaintBackground(StyleStreet, 200, 72, 1)
+	vp := ViewportAt(pano, 96, 72, 500) // clamped to right edge
+	if vp.W != 96 || vp.H != 72 {
+		t.Fatalf("viewport dims %dx%d", vp.W, vp.H)
+	}
+	vp2 := ViewportAt(pano, 96, 72, -10)
+	if vp2.W != 96 {
+		t.Fatal("negative offset should clamp")
+	}
+}
+
+func TestPlanObjectsIncludesBriefVisitors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	plans := PlanObjects(60, 600, 256, 192, StyleSquare, Pedestrian, rng)
+	short := 0
+	for _, p := range plans {
+		if p.Exit-p.Enter < 40 {
+			short++
+		}
+	}
+	// briefFraction steers ~30% of objects to short appearances; allow a
+	// generous band since other archetypes can also be truncated.
+	if short < 8 {
+		t.Fatalf("only %d of 60 objects are short-lived; brief visitors missing", short)
+	}
+	if short > 45 {
+		t.Fatalf("%d of 60 objects short-lived; population too transient", short)
+	}
+}

@@ -1,0 +1,241 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+
+	"verro/internal/geom"
+)
+
+// motionKind is the trajectory archetype assigned to an object.
+type motionKind int
+
+const (
+	motionCross  motionKind = iota // walk straight across the walkable band
+	motionDiag                     // enter one edge, exit an adjacent one
+	motionLoiter                   // wander around a point, then leave
+	motionBrief                    // short appearance near a frame edge
+)
+
+// briefFraction is the share of objects given short edge appearances; it
+// reproduces the ~20% of objects the paper's videos lose to key-frame
+// extraction (objects whose whole lifetime falls between key frames).
+const briefFraction = 0.3
+
+// ObjectPlan is the scripted life of one ground-truth object: when it
+// enters, how it moves, and when it leaves.
+type ObjectPlan struct {
+	ID        int
+	Class     ObjectClass
+	Enter     int // first frame
+	Exit      int // last frame (inclusive)
+	positions geom.Polyline
+}
+
+// PosAt returns the object's center at frame k and whether it is on stage.
+func (p *ObjectPlan) PosAt(k int) (geom.Vec, bool) {
+	if k < p.Enter || k > p.Exit {
+		return geom.Vec{}, false
+	}
+	return p.positions[k-p.Enter], true
+}
+
+// walkBand returns the vertical band in which objects of the style move.
+func walkBand(style Style, h int) (top, bot float64) {
+	switch style {
+	case StyleNightStreet:
+		return float64(h) * 0.55, float64(h) * 0.95
+	case StyleStreet:
+		return float64(h) * 0.60, float64(h) * 0.95
+	default: // plaza
+		return float64(h) * 0.45, float64(h) * 0.95
+	}
+}
+
+// PlanObjects scripts n objects over m frames in a w×h scene. Entries are
+// spread over the video with jitter so that per-frame densities resemble
+// the MOT sequences (a handful to a few dozen objects on screen at once).
+func PlanObjects(n, m, w, h int, style Style, class ObjectClass, rng *rand.Rand) []*ObjectPlan {
+	plans := make([]*ObjectPlan, 0, n)
+	for i := 0; i < n; i++ {
+		base := 0
+		if n > 1 {
+			base = i * m / n
+		}
+		enter := base + rng.Intn(maxInt(m/(2*n), 1)+4) - 2
+		enter = clampInt(enter, 0, m-2)
+		plan := planOne(i+1, class, enter, m, w, h, style, rng)
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// planOne builds a single trajectory.
+func planOne(id int, class ObjectClass, enter, m, w, h int, style Style, rng *rand.Rand) *ObjectPlan {
+	top, bot := walkBand(style, h)
+	kind := motionKind(rng.Intn(3))
+	if rng.Float64() < briefFraction {
+		kind = motionBrief
+	}
+	// Speed scales with the scene width so a crossing takes a comparable
+	// fraction of the video at any resolution.
+	speed := (0.8 + rng.Float64()*1.6) * float64(w) / 256
+	if class == Vehicle {
+		speed = (2 + rng.Float64()*3) * float64(w) / 256
+	}
+	if speed < 0.5 {
+		speed = 0.5
+	}
+
+	var pts geom.Polyline
+	switch kind {
+	case motionLoiter:
+		pts = loiterPath(w, top, bot, speed, rng)
+	case motionDiag:
+		pts = diagPath(w, top, bot, speed, rng)
+	case motionBrief:
+		// Brief visitors move quickly: their short lifetimes are what the
+		// key-frame extraction legitimately misses.
+		pts = briefPath(w, top, bot, speed*2, rng)
+	default:
+		pts = crossPath(w, top, bot, speed, rng)
+	}
+
+	exit := enter + len(pts) - 1
+	if exit >= m {
+		exit = m - 1
+		pts = pts[:exit-enter+1]
+	}
+	return &ObjectPlan{ID: id, Class: class, Enter: enter, Exit: exit, positions: pts}
+}
+
+// crossPath walks straight across the scene with sinusoidal sway.
+func crossPath(w int, top, bot, speed float64, rng *rand.Rand) geom.Polyline {
+	leftToRight := rng.Intn(2) == 0
+	y := top + rng.Float64()*(bot-top)
+	sway := 2 + rng.Float64()*6
+	swayFreq := 0.02 + rng.Float64()*0.06
+	margin := 6.0
+	x := -margin
+	dir := 1.0
+	if !leftToRight {
+		x = float64(w) + margin
+		dir = -1
+	}
+	var pts geom.Polyline
+	for len(pts) < 8000 {
+		pts = append(pts, geom.V(x, y+sway*math.Sin(swayFreq*float64(len(pts)))))
+		x += dir * speed
+		if x < -margin || x > float64(w)+margin {
+			break
+		}
+	}
+	return pts
+}
+
+// diagPath enters at a horizontal edge and drifts vertically while
+// crossing, exiting on the other side or the bottom.
+func diagPath(w int, top, bot, speed float64, rng *rand.Rand) geom.Polyline {
+	leftToRight := rng.Intn(2) == 0
+	y := top + rng.Float64()*(bot-top)
+	vy := (rng.Float64() - 0.5) * speed
+	margin := 6.0
+	x := -margin
+	dir := 1.0
+	if !leftToRight {
+		x = float64(w) + margin
+		dir = -1
+	}
+	var pts geom.Polyline
+	for len(pts) < 8000 {
+		pts = append(pts, geom.V(x, y))
+		x += dir * speed
+		y += vy
+		if y < top {
+			y, vy = top, -vy
+		}
+		if y > bot {
+			y, vy = bot, -vy
+		}
+		if x < -margin || x > float64(w)+margin {
+			break
+		}
+	}
+	return pts
+}
+
+// loiterPath wanders around an anchor with a random walk, then exits via
+// the nearest horizontal edge.
+func loiterPath(w int, top, bot, speed float64, rng *rand.Rand) geom.Polyline {
+	cx := float64(w) * (0.2 + 0.6*rng.Float64())
+	cy := top + rng.Float64()*(bot-top)
+	dwell := 60 + rng.Intn(240)
+	var pts geom.Polyline
+	x, y := cx, cy
+	heading := rng.Float64() * 2 * math.Pi
+	for k := 0; k < dwell; k++ {
+		heading += (rng.Float64() - 0.5) * 0.6
+		x += math.Cos(heading) * speed * 0.5
+		y += math.Sin(heading) * speed * 0.25
+		// Stay tethered to the anchor.
+		x = geom.ClampF(x, cx-40, cx+40)
+		y = geom.ClampF(y, math.Max(top, cy-20), math.Min(bot, cy+20))
+		pts = append(pts, geom.V(x, y))
+	}
+	// Leave towards the nearest edge.
+	dir := 1.0
+	if x < float64(w)/2 {
+		dir = -1
+	}
+	margin := 6.0
+	for len(pts) < 8000 {
+		x += dir * speed
+		pts = append(pts, geom.V(x, y))
+		if x < -margin || x > float64(w)+margin {
+			break
+		}
+	}
+	return pts
+}
+
+// briefPath is a short appearance near a frame edge: the object steps in,
+// lingers a handful of frames and leaves the way it came.
+func briefPath(w int, top, bot, speed float64, rng *rand.Rand) geom.Polyline {
+	fromLeft := rng.Intn(2) == 0
+	y := top + rng.Float64()*(bot-top)
+	depth := 8 + rng.Float64()*8 // how far into the frame it gets
+	dwell := 2 + rng.Intn(4)
+	x := -6.0
+	dir := 1.0
+	if !fromLeft {
+		x = float64(w) + 6
+		dir = -1
+	}
+	var pts geom.Polyline
+	// Walk in.
+	target := x + dir*depth
+	for (dir > 0 && x < target) || (dir < 0 && x > target) {
+		pts = append(pts, geom.V(x, y))
+		x += dir * speed
+	}
+	// Dwell.
+	for k := 0; k < dwell; k++ {
+		pts = append(pts, geom.V(x, y))
+	}
+	// Walk out.
+	for x > -6 && x < float64(w)+6 {
+		pts = append(pts, geom.V(x, y))
+		x -= dir * speed
+	}
+	return pts
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

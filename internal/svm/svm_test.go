@@ -1,0 +1,151 @@
+package svm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// gaussianBlobs makes a linearly separable 2-class dataset.
+func gaussianBlobs(rng *rand.Rand, n int, sep float64) (samples [][]float64, labels []int) {
+	for i := 0; i < n; i++ {
+		y := 1
+		cx, cy := sep, sep
+		if i%2 == 0 {
+			y = -1
+			cx, cy = -sep, -sep
+		}
+		samples = append(samples, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+		labels = append(labels, y)
+	}
+	return samples, labels
+}
+
+func TestTrainSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples, labels := gaussianBlobs(rng, 200, 4)
+	m, err := Train(samples, labels, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(samples, labels); acc < 0.97 {
+		t.Fatalf("training accuracy = %v, want >= 0.97", acc)
+	}
+	// Held-out data.
+	test, testLabels := gaussianBlobs(rng, 200, 4)
+	if acc := m.Accuracy(test, testLabels); acc < 0.95 {
+		t.Fatalf("test accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainOverlappingDataStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	samples, labels := gaussianBlobs(rng, 400, 1.2)
+	m, err := Train(samples, labels, DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(samples, labels); acc < 0.75 {
+		t.Fatalf("accuracy = %v on overlapping blobs, want >= 0.75", acc)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, DefaultTrainConfig()); err == nil {
+		t.Fatal("empty data should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []int{2}, DefaultTrainConfig()); err == nil {
+		t.Fatal("bad label should fail")
+	}
+	if _, err := Train([][]float64{{1}, {2}}, []int{1, 1}, DefaultTrainConfig()); err == nil {
+		t.Fatal("single-class data should fail")
+	}
+	if _, err := Train([][]float64{{1}, {2, 3}}, []int{1, -1}, DefaultTrainConfig()); err == nil {
+		t.Fatal("ragged samples should fail")
+	}
+	if _, err := Train([][]float64{{1}}, []int{1, -1}, DefaultTrainConfig()); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestTrainDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples, labels := gaussianBlobs(rng, 100, 3)
+	cfg := DefaultTrainConfig()
+	m1, err := Train(samples, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(samples, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.W {
+		if m1.W[i] != m2.W[i] {
+			t.Fatal("same seed should give identical models")
+		}
+	}
+}
+
+func TestScoreShortVector(t *testing.T) {
+	m := &Model{W: []float64{1, 2, 3}, Bias: 0.5}
+	// Only the prefix is scored.
+	if got := m.Score([]float64{1}); got != 1.5 {
+		t.Fatalf("Score = %v, want 1.5", got)
+	}
+	if got := m.Predict([]float64{-10, 0, 0}); got != -1 {
+		t.Fatalf("Predict = %d", got)
+	}
+}
+
+func TestDefaultsAppliedForZeroConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	samples, labels := gaussianBlobs(rng, 100, 4)
+	m, err := Train(samples, labels, TrainConfig{}) // zero-value config
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(samples, labels); acc < 0.9 {
+		t.Fatalf("accuracy with defaulted config = %v", acc)
+	}
+}
+
+func TestModelEncodeDecode(t *testing.T) {
+	m := &Model{W: []float64{0.25, -1.5, 3.75}, Bias: -0.125}
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Bias != m.Bias || len(back.W) != len(m.W) {
+		t.Fatalf("decoded %+v", back)
+	}
+	for i := range m.W {
+		if back.W[i] != m.W[i] {
+			t.Fatalf("weight %d = %v, want %v", i, back.W[i], m.W[i])
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+	if _, err := Decode(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	// Truncated after magic.
+	if _, err := Decode(bytes.NewReader([]byte("SVM1"))); err == nil {
+		t.Fatal("truncated stream should fail")
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := &Model{W: []float64{1}}
+	if m.Accuracy(nil, nil) != 0 {
+		t.Fatal("accuracy on empty set should be 0")
+	}
+}

@@ -1,0 +1,212 @@
+package vid
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"verro/internal/img"
+)
+
+// The .vvf container: a small header followed by gzip-compressed frame
+// payloads. The first frame is stored raw; every subsequent frame is stored
+// as the byte-wise delta from its predecessor, which compresses extremely
+// well for surveillance footage where consecutive frames are near-identical
+// — the same temporal redundancy the paper's key-frame extraction exploits.
+
+const (
+	vvfMagic   = "VVF1"
+	maxFrames  = 1 << 20
+	maxDim     = 1 << 14
+	frameRaw   = 0
+	frameDelta = 1
+)
+
+// ErrFormat reports a malformed .vvf stream.
+var ErrFormat = errors.New("vid: invalid vvf stream")
+
+// Encode writes v to w in .vvf format and returns the number of compressed
+// payload bytes written (the "bandwidth" of Table 3).
+func Encode(w io.Writer, v *Video) (int64, error) {
+	cw := &countWriter{w: w}
+	bw := bufio.NewWriter(cw)
+
+	if _, err := bw.WriteString(vvfMagic); err != nil {
+		return 0, err
+	}
+	header := []any{
+		uint32(v.W), uint32(v.H), uint32(len(v.Frames)),
+		math.Float64bits(v.FPS), boolByte(v.Moving),
+		uint16(len(v.Name)),
+	}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := bw.WriteString(v.Name); err != nil {
+		return 0, err
+	}
+
+	zw, err := gzip.NewWriterLevel(bw, gzip.BestSpeed)
+	if err != nil {
+		return 0, err
+	}
+	var prev []uint8
+	buf := make([]uint8, 0)
+	for i, f := range v.Frames {
+		kind := byte(frameRaw)
+		payload := f.Pix
+		if i > 0 {
+			kind = frameDelta
+			if cap(buf) < len(f.Pix) {
+				buf = make([]uint8, len(f.Pix))
+			}
+			buf = buf[:len(f.Pix)]
+			for j := range f.Pix {
+				buf[j] = f.Pix[j] - prev[j]
+			}
+			payload = buf
+		}
+		if _, err := zw.Write([]byte{kind}); err != nil {
+			return 0, err
+		}
+		if _, err := zw.Write(payload); err != nil {
+			return 0, err
+		}
+		prev = f.Pix
+	}
+	if err := zw.Close(); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// Decode reads a .vvf stream back into a Video.
+func Decode(r io.Reader) (*Video, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(vvfMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	if string(magic) != vvfMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	var w32, h32, n32 uint32
+	var fpsBits uint64
+	var moving uint8
+	var nameLen uint16
+	for _, dst := range []any{&w32, &h32, &n32, &fpsBits, &moving, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+		}
+	}
+	if w32 > maxDim || h32 > maxDim || n32 > maxFrames {
+		return nil, fmt.Errorf("%w: implausible geometry %dx%d×%d", ErrFormat, w32, h32, n32)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("%w: name: %v", ErrFormat, err)
+	}
+
+	v := New(string(name), int(w32), int(h32), math.Float64frombits(fpsBits))
+	v.Moving = moving != 0
+
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gzip: %v", ErrFormat, err)
+	}
+	defer zr.Close()
+
+	frameBytes := int(w32) * int(h32) * 3
+	var prev []uint8
+	for i := 0; i < int(n32); i++ {
+		kind := make([]byte, 1)
+		if _, err := io.ReadFull(zr, kind); err != nil {
+			return nil, fmt.Errorf("%w: frame %d kind: %v", ErrFormat, i, err)
+		}
+		pix := make([]uint8, frameBytes)
+		if _, err := io.ReadFull(zr, pix); err != nil {
+			return nil, fmt.Errorf("%w: frame %d payload: %v", ErrFormat, i, err)
+		}
+		switch kind[0] {
+		case frameRaw:
+		case frameDelta:
+			if prev == nil {
+				return nil, fmt.Errorf("%w: delta frame %d without base", ErrFormat, i)
+			}
+			for j := range pix {
+				pix[j] += prev[j]
+			}
+		default:
+			return nil, fmt.Errorf("%w: frame %d unknown kind %d", ErrFormat, i, kind[0])
+		}
+		f := &img.Image{W: v.W, H: v.H, Pix: pix}
+		v.Frames = append(v.Frames, f)
+		prev = pix
+	}
+	return v, nil
+}
+
+// WriteFile saves v to path in .vvf format, creating parent directories, and
+// returns the compressed size in bytes.
+func WriteFile(path string, v *Video) (int64, error) {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return 0, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := Encode(f, v)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	return n, f.Close()
+}
+
+// ReadFile loads a .vvf video from disk.
+func ReadFile(path string) (*Video, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// EncodedSize returns the compressed byte size of v without keeping the
+// stream — the Table 3 "bandwidth" figure.
+func EncodedSize(v *Video) (int64, error) {
+	return Encode(io.Discard, v)
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package vid
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"verro/internal/img"
+)
+
+func newRandomFrame(rng *rand.Rand, w, h int) *img.Image {
+	f := img.New(w, h)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// TestDecodeNeverPanicsOnRandomInput feeds the codec random byte soup: it
+// must return an error (or, vanishingly unlikely, a valid video) and never
+// panic or over-allocate.
+func TestDecodeNeverPanicsOnRandomInput(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode panicked on %d bytes: %v", len(data), r)
+			}
+		}()
+		_, _ = Decode(bytes.NewReader(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeNeverPanicsOnCorruptedValidStream flips random bytes in a
+// well-formed stream.
+func TestDecodeNeverPanicsOnCorruptedValidStream(t *testing.T) {
+	v := testVideo(t, 5)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), valid...)
+		flips := 1 + rng.Intn(8)
+		for i := 0; i < flips; i++ {
+			pos := rng.Intn(len(corrupted))
+			corrupted[pos] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupted stream (trial %d): %v", trial, r)
+				}
+			}()
+			_, _ = Decode(bytes.NewReader(corrupted))
+		}()
+	}
+}
+
+// TestCodecRoundTripRandomVideos is a property test: arbitrary small
+// videos survive the codec bit-exactly.
+func TestCodecRoundTripRandomVideos(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		w := 1 + rng.Intn(24)
+		h := 1 + rng.Intn(24)
+		frames := rng.Intn(6)
+		v := New("prop", w, h, float64(1+rng.Intn(60)))
+		v.Moving = rng.Intn(2) == 0
+		for i := 0; i < frames; i++ {
+			fr := newRandomFrame(rng, w, h)
+			if err := v.Append(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, v); err != nil {
+			t.Fatalf("trial %d encode: %v", trial, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("trial %d decode: %v", trial, err)
+		}
+		if back.Len() != v.Len() || back.W != v.W || back.H != v.H {
+			t.Fatalf("trial %d shape mismatch", trial)
+		}
+		for i := range v.Frames {
+			if !v.Frame(i).Equal(back.Frame(i)) {
+				t.Fatalf("trial %d frame %d differs", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package vid
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSlice(t *testing.T) {
+	v := testVideo(t, 10)
+	s, err := v.Slice(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Frame(0).Equal(v.Frame(2)) {
+		t.Fatal("wrong frames")
+	}
+	if _, err := v.Slice(-1, 3); err == nil {
+		t.Fatal("negative from should fail")
+	}
+	if _, err := v.Slice(5, 3); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, err := v.Slice(0, 99); err == nil {
+		t.Fatal("overflow should fail")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := testVideo(t, 3)
+	b := testVideo(t, 2)
+	out, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 5 {
+		t.Fatalf("len = %d", out.Len())
+	}
+	c := New("other", 8, 8, 30)
+	if _, err := a.Concat(c); err == nil {
+		t.Fatal("geometry mismatch should fail")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	v := testVideo(t, 10)
+	out, err := v.EveryNth(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 4 { // frames 0,3,6,9
+		t.Fatalf("len = %d", out.Len())
+	}
+	if !out.Frame(1).Equal(v.Frame(3)) {
+		t.Fatal("wrong stride")
+	}
+	if out.FPS != v.FPS/3 {
+		t.Fatalf("fps = %v", out.FPS)
+	}
+	if _, err := v.EveryNth(0); err == nil {
+		t.Fatal("zero stride should fail")
+	}
+}
+
+func TestWriteGIF(t *testing.T) {
+	v := testVideo(t, 6)
+	path := t.TempDir() + "/anim/out.gif"
+	if err := v.WriteGIF(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty gif")
+	}
+	empty := New("e", 4, 4, 30)
+	if err := empty.WriteGIF(path, 1); err == nil {
+		t.Fatal("empty video should fail")
+	}
+}
+
+func TestWebSafePalette(t *testing.T) {
+	p := webSafePalette()
+	if len(p) == 0 || len(p) > 256 {
+		t.Fatalf("palette size %d", len(p))
+	}
+}

@@ -1,0 +1,95 @@
+package vid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"verro/internal/img"
+)
+
+func TestWriteY4MHeaderAndSize(t *testing.T) {
+	v := testVideo(t, 3) // 16x12
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "YUV4MPEG2 W16 H12 F30:1") {
+		t.Fatalf("header = %q", out[:40])
+	}
+	// 3 frames × (FRAME\n + Y 16*12 + U+V 8*6 each).
+	frameBytes := 6 + 16*12 + 2*8*6
+	wantLen := len("YUV4MPEG2 W16 H12 F30:1 Ip A1:1 C420jpeg\n") + 3*frameBytes
+	if buf.Len() != wantLen {
+		t.Fatalf("stream length %d, want %d", buf.Len(), wantLen)
+	}
+}
+
+func TestWriteY4MOddDimensionsCropped(t *testing.T) {
+	v := New("odd", 7, 5, 24)
+	_ = v.Append(img.NewFilled(7, 5, img.RGB{R: 128, G: 128, B: 128}))
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "YUV4MPEG2 W6 H4") {
+		t.Fatalf("header = %q", buf.String()[:24])
+	}
+}
+
+func TestWriteY4MGrayIsNeutralChroma(t *testing.T) {
+	v := New("gray", 4, 4, 30)
+	_ = v.Append(img.NewFilled(4, 4, img.RGB{R: 100, G: 100, B: 100}))
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Locate the frame payload after "FRAME\n".
+	idx := bytes.Index(data, []byte("FRAME\n")) + 6
+	y := data[idx : idx+16]
+	u := data[idx+16 : idx+16+4]
+	vv := data[idx+20 : idx+24]
+	for _, b := range y {
+		if b != 100 {
+			t.Fatalf("luma = %d, want 100", b)
+		}
+	}
+	for i := range u {
+		if u[i] != 128 || vv[i] != 128 {
+			t.Fatalf("gray chroma should be 128: u=%d v=%d", u[i], vv[i])
+		}
+	}
+}
+
+func TestWriteY4MValidation(t *testing.T) {
+	if err := WriteY4M(&bytes.Buffer{}, New("e", 8, 8, 30)); err == nil {
+		t.Fatal("empty video should fail")
+	}
+	tiny := New("t", 1, 1, 30)
+	_ = tiny.Append(img.New(1, 1))
+	if err := WriteY4M(&bytes.Buffer{}, tiny); err == nil {
+		t.Fatal("1x1 video should fail (no even crop)")
+	}
+}
+
+func TestSaveY4M(t *testing.T) {
+	v := testVideo(t, 2)
+	path := t.TempDir() + "/sub/clip.y4m"
+	if err := SaveY4M(path, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpsFraction(t *testing.T) {
+	if n, d := fpsFraction(30); n != 30 || d != 1 {
+		t.Fatalf("30fps = %d/%d", n, d)
+	}
+	if n, d := fpsFraction(29.97); n != 2997 || d != 100 {
+		t.Fatalf("29.97fps = %d/%d", n, d)
+	}
+	if n, d := fpsFraction(0); n != 25 || d != 1 {
+		t.Fatalf("default fps = %d/%d", n, d)
+	}
+}

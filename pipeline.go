@@ -1,0 +1,86 @@
+package verro
+
+import (
+	"fmt"
+
+	"verro/internal/detect"
+	"verro/internal/scene"
+	"verro/internal/track"
+)
+
+// PipelineConfig tunes the detection→tracking preprocessing that turns raw
+// video into the sensitive-object tracks VERRO sanitizes.
+type PipelineConfig struct {
+	// Detector selects the detection algorithm.
+	Detector DetectorKind
+	// Tracker tunes the SORT-style tracker.
+	Tracker track.Config
+	// BackgroundStep subsamples frames for the median background model of
+	// the background-subtraction detector; 0 means an automatic stride.
+	BackgroundStep int
+	// Style is the scene style used to train the HOG+SVM detector; it is
+	// only consulted when Detector == DetectorHOGSVM.
+	Style scene.Style
+	// Seed drives detector training randomness.
+	Seed int64
+}
+
+// DetectorKind selects a detection algorithm.
+type DetectorKind int
+
+// Available detectors.
+const (
+	// DetectorBackgroundSub is the fast background-subtraction detector,
+	// appropriate for static cameras.
+	DetectorBackgroundSub DetectorKind = iota
+	// DetectorHOGSVM is the sliding-window HOG+SVM detector (the paper's
+	// detector family); slower but camera-motion tolerant.
+	DetectorHOGSVM
+)
+
+// DefaultPipelineConfig uses background subtraction with default tracking.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Detector: DetectorBackgroundSub,
+		Tracker:  track.DefaultConfig(),
+		Style:    scene.StyleSquare,
+		Seed:     1,
+	}
+}
+
+// DetectAndTrack runs detection and tracking over the video and returns
+// the recovered object tracks — the preprocessing stage of Figure 2.
+func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
+	if v == nil || v.Len() == 0 {
+		return nil, fmt.Errorf("verro: empty video")
+	}
+	var det detect.Detector
+	switch cfg.Detector {
+	case DetectorHOGSVM:
+		d, err := detect.NewPedestrianDetector(cfg.Style, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("verro: build detector: %w", err)
+		}
+		det = d
+	case DetectorBackgroundSub:
+		step := cfg.BackgroundStep
+		if step <= 0 {
+			step = v.Len() / 40
+			if step < 1 {
+				step = 1
+			}
+		}
+		bg, err := detect.MedianBackground(v.Frames, step)
+		if err != nil {
+			return nil, fmt.Errorf("verro: background model: %w", err)
+		}
+		det = detect.NewBGSubtractor(bg)
+	default:
+		return nil, fmt.Errorf("verro: unknown detector %d", cfg.Detector)
+	}
+	tracks, err := track.Run(v.Frames, det, cfg.Tracker)
+	if err != nil {
+		return nil, fmt.Errorf("verro: tracking: %w", err)
+	}
+	return tracks, nil
+}

@@ -1,0 +1,162 @@
+// Package verro is a video sanitization library with a formal privacy
+// guarantee: it reproduces "Publishing Video Data with Indistinguishable
+// Objects" (EDBT 2020). Given a video and the tracks of its sensitive
+// objects, VERRO generates a synthetic video in which every object's
+// content, presence pattern and trajectory are randomized such that any two
+// objects are ε-indistinguishable (an object-level analogue of local
+// differential privacy), while aggregate utility — object counts, crowd
+// densities, motion structure — is preserved.
+//
+// The typical flow is:
+//
+//	video := ...                        // *verro.Video (or verro.GenerateBenchmark)
+//	tracks, _ := verro.DetectAndTrack(video, verro.DefaultPipelineConfig())
+//	res, _ := verro.Sanitize(video, tracks, verro.DefaultConfig())
+//	verro.WriteVideo("out.vvf", res.Synthetic)
+//
+// The privacy level is governed by the flip probability f (Config.Phase1.F)
+// and the number K of key frames the optimizer allocates budget to:
+// ε = K·ln((2−f)/f). Use Epsilon and FlipProbability to convert between
+// the two parameterizations.
+package verro
+
+import (
+	"verro/internal/core"
+	"verro/internal/img"
+	"verro/internal/inpaint"
+	"verro/internal/interp"
+	"verro/internal/keyframe"
+	"verro/internal/ldp"
+	"verro/internal/metrics"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/vid"
+)
+
+// Core data model.
+type (
+	// Video is an in-memory frame sequence with metadata.
+	Video = vid.Video
+	// Image is an 8-bit RGB raster frame.
+	Image = img.Image
+	// Track is one object's per-frame bounding boxes under a stable ID.
+	Track = motio.Track
+	// TrackSet is the collection of sensitive objects O₁..Oₙ.
+	TrackSet = motio.TrackSet
+)
+
+// Configuration and results.
+type (
+	// Config is the end-to-end sanitizer configuration.
+	Config = core.Config
+	// Result is the sanitizer output: synthetic video plus diagnostics.
+	Result = core.Result
+	// Phase1Config tunes dimension reduction, key-frame selection and
+	// random response.
+	Phase1Config = core.Phase1Config
+	// Phase2Config tunes coordinate assignment and rendering.
+	Phase2Config = core.Phase2Config
+	// KeyframeConfig tunes the Algorithm 2 segmentation.
+	KeyframeConfig = keyframe.Config
+	// InpaintConfig tunes the Criminisi background filler.
+	InpaintConfig = inpaint.Config
+)
+
+// Benchmark dataset generation (the MOT16 stand-ins).
+type (
+	// Preset describes a synthetic benchmark video.
+	Preset = scene.Preset
+	// Generated bundles a benchmark video with its ground truth.
+	Generated = scene.Generated
+)
+
+// NewVideo returns an empty video shell.
+func NewVideo(name string, w, h int, fps float64) *Video { return vid.New(name, w, h, fps) }
+
+// NewTrackSet returns an empty object collection.
+func NewTrackSet() *TrackSet { return motio.NewTrackSet() }
+
+// NewTrack returns an empty track for one object.
+func NewTrack(id int, class string) *Track { return motio.NewTrack(id, class) }
+
+// DefaultConfig returns the paper's default sanitizer settings (f = 0.1,
+// key-frame optimization on, hybrid interpolation).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Sanitize runs the full VERRO pipeline over the video and its sensitive
+// object tracks. The input is not modified.
+func Sanitize(v *Video, tracks *TrackSet, cfg Config) (*Result, error) {
+	return core.Sanitize(v, tracks, cfg)
+}
+
+// MultiTypeResult is the output of SanitizeMultiType.
+type MultiTypeResult = core.MultiTypeResult
+
+// SanitizeMultiType sanitizes a video containing several object classes
+// (e.g. pedestrians and vehicles): Phase I runs independently per class so
+// every class is ε-indistinguishable within itself, and one synthetic
+// video is rendered with sprites of the matching classes (paper
+// Section 5, "Multiple Object Types").
+func SanitizeMultiType(v *Video, tracks *TrackSet, cfg Config) (*MultiTypeResult, error) {
+	return core.SanitizeMultiType(v, tracks, cfg)
+}
+
+// JointResult is the output of SanitizeJoint.
+type JointResult = core.JointResult
+
+// SanitizeJoint sanitizes several cameras' videos under one total ε
+// budget, split across cameras, and reports the sequential-composition
+// bound for objects appearing in all of them (the multi-video protection
+// the paper's conclusion raises as future work).
+func SanitizeJoint(videos []*Video, tracks []*TrackSet, totalEps float64, cfg Config) (*JointResult, error) {
+	return core.SanitizeJoint(videos, tracks, totalEps, cfg)
+}
+
+// Epsilon returns the ε-Object Indistinguishability level achieved by flip
+// probability f over k budget-allocated key frames: ε = k·ln((2−f)/f).
+func Epsilon(k int, f float64) (float64, error) { return ldp.Epsilon(k, f) }
+
+// FlipProbability inverts Epsilon: the f that spends budget eps over k key
+// frames.
+func FlipProbability(k int, eps float64) (float64, error) { return ldp.FlipProbability(k, eps) }
+
+// GenerateBenchmark renders one of the synthetic benchmark presets
+// (BenchmarkPresets) into a video plus exact ground-truth tracks.
+func GenerateBenchmark(p Preset) (*Generated, error) { return scene.Generate(p) }
+
+// BenchmarkPresets returns the three MOT16-style presets of the paper's
+// Table 1 (MOT01, MOT03, MOT06).
+func BenchmarkPresets() []Preset { return scene.Presets() }
+
+// BenchmarkPreset looks a preset up by name ("MOT01", "MOT03", "MOT06").
+func BenchmarkPreset(name string) (Preset, error) { return scene.PresetByName(name) }
+
+// WriteVideo persists a video in the .vvf container and returns its
+// compressed size in bytes.
+func WriteVideo(path string, v *Video) (int64, error) { return vid.WriteFile(path, v) }
+
+// ReadVideo loads a .vvf video.
+func ReadVideo(path string) (*Video, error) { return vid.ReadFile(path) }
+
+// EncodedSize returns the compressed .vvf size of v without writing it.
+func EncodedSize(v *Video) (int64, error) { return vid.EncodedSize(v) }
+
+// SaveTracks and LoadTracks persist object annotations as CSV.
+func SaveTracks(path string, t *TrackSet) error { return t.SaveCSV(path) }
+
+// LoadTracks reads object annotations saved by SaveTracks.
+func LoadTracks(path string) (*TrackSet, error) { return motio.LoadCSV(path) }
+
+// TrajectoryDeviation measures the normalized trajectory deviation between
+// original and synthetic tracks (paper Section 6.2.2; lower is better).
+func TrajectoryDeviation(original, synthetic *TrackSet) float64 {
+	return metrics.TrajectoryDeviation(original, synthetic)
+}
+
+// Interpolation methods for Phase2Config.Interp.
+const (
+	InterpLagrange = interp.MethodLagrange
+	InterpLinear   = interp.MethodLinear
+	InterpNearest  = interp.MethodNearest
+	InterpHybrid   = interp.MethodHybrid
+)

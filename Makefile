@@ -1,0 +1,37 @@
+# VERRO build/test entry points. Everything is stdlib-only Go; no tools
+# beyond the go toolchain are required.
+
+GO ?= go
+
+.PHONY: check vet build test race fuzz bench bench-json clean
+
+## check: the CI gate — vet, build, race-enabled tests, and a short fuzz pass.
+check: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz: a short .vvf codec fuzz pass; lengthen with FUZZTIME=60s.
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzVVF -fuzztime=$(FUZZTIME) ./internal/vid/
+
+## bench: every benchmark once (paper tables/figures + worker-pool paths).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+## bench-json: regenerate BENCH_parallel.json (worker-pool ns/op at 1 vs 4 workers).
+bench-json:
+	VERRO_BENCH_JSON=BENCH_parallel.json $(GO) test -run='^$$' -bench=BenchmarkPar -benchtime=2x .
+
+clean:
+	rm -rf results

@@ -1,0 +1,94 @@
+package verro
+
+// Machine-readable benchmark emission: when VERRO_BENCH_JSON names a file,
+// every benchmark that calls recordBench appends its measured ns/op there as
+// JSON after the run. This feeds BENCH_parallel.json (the worker-pool
+// speedup record) and any external tracking without parsing `go test` text
+// output:
+//
+//	VERRO_BENCH_JSON=BENCH_parallel.json go test -bench=Par -benchtime=2x .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// benchRecord is one benchmark measurement.
+type benchRecord struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchReport is the file-level JSON shape. GOMAXPROCS is recorded because
+// speedup numbers are meaningless without the host's parallelism.
+type benchReport struct {
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Note       string        `json:"note,omitempty"`
+	Records    []benchRecord `json:"records"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchRecords []benchRecord
+)
+
+// recordBench registers b for JSON emission; call it at the top of a
+// benchmark (or sub-benchmark) body. Timing is captured in a Cleanup so the
+// full measured run is included.
+func recordBench(b *testing.B) {
+	b.Helper()
+	b.Cleanup(func() {
+		if b.N == 0 || b.Failed() {
+			return
+		}
+		rec := benchRecord{
+			Name:    b.Name(),
+			N:       b.N,
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		}
+		benchMu.Lock()
+		defer benchMu.Unlock()
+		// The harness re-runs a benchmark while ramping b.N; keep only the
+		// final (longest) measurement per name.
+		for i := range benchRecords {
+			if benchRecords[i].Name == rec.Name {
+				benchRecords[i] = rec
+				return
+			}
+		}
+		benchRecords = append(benchRecords, rec)
+	})
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("VERRO_BENCH_JSON"); path != "" && code == 0 {
+		benchMu.Lock()
+		report := benchReport{
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Records:    benchRecords,
+		}
+		if report.GoMaxProcs == 1 {
+			report.Note = "single-CPU host: workers>1 variants measure pool overhead, not speedup; re-run on a multi-core machine for scaling numbers"
+		}
+		benchMu.Unlock()
+		if len(report.Records) > 0 {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err == nil {
+				data = append(data, '\n')
+				err = os.WriteFile(path, data, 0o644)
+			}
+			if err != nil {
+				os.Stderr.WriteString("verro: bench json: " + err.Error() + "\n")
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}

@@ -62,6 +62,7 @@ func allDatasets(b *testing.B) []*exp.Dataset {
 // BenchmarkTable1Characteristics regenerates Table 1 (video
 // characteristics): dataset generation plus preprocessing.
 func BenchmarkTable1Characteristics(b *testing.B) {
+	recordBench(b)
 	for i := 0; i < b.N; i++ {
 		rows := exp.Table1(allDatasets(b))
 		if len(rows) != 3 {
@@ -73,6 +74,7 @@ func BenchmarkTable1Characteristics(b *testing.B) {
 // BenchmarkTable2KeyFrames regenerates Table 2 (distinct objects after key
 // frame extraction).
 func BenchmarkTable2KeyFrames(b *testing.B) {
+	recordBench(b)
 	ds := allDatasets(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -91,6 +93,7 @@ func BenchmarkTable2KeyFrames(b *testing.B) {
 func BenchmarkTable3Overheads(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -111,6 +114,7 @@ func BenchmarkTable3Overheads(b *testing.B) {
 func BenchmarkFig5DistinctObjects(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			fs := []float64{0.1, 0.5, 0.9}
 			b.ResetTimer()
@@ -134,6 +138,7 @@ func BenchmarkFig5DistinctObjects(b *testing.B) {
 func BenchmarkFig5Deviation(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -153,6 +158,7 @@ func BenchmarkFig5Deviation(b *testing.B) {
 func BenchmarkFig678Trajectories(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -174,6 +180,7 @@ func BenchmarkFig678Trajectories(b *testing.B) {
 func BenchmarkFig91011Frames(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -188,6 +195,7 @@ func BenchmarkFig91011Frames(b *testing.B) {
 // BenchmarkFig12KeyFrameCounts regenerates the Figure 12 aggregate counts
 // in optimized key frames.
 func BenchmarkFig12KeyFrameCounts(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT03")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -200,6 +208,7 @@ func BenchmarkFig12KeyFrameCounts(b *testing.B) {
 // BenchmarkFig13FrameCounts regenerates the Figure 13 per-frame counts in
 // the synthetic videos.
 func BenchmarkFig13FrameCounts(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT03")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -212,6 +221,7 @@ func BenchmarkFig13FrameCounts(b *testing.B) {
 // BenchmarkBaselineNaiveRR runs the Algorithm 1 baseline comparison (the
 // Section 3.1 "poor utility" argument).
 func BenchmarkBaselineNaiveRR(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT03")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -228,6 +238,7 @@ func BenchmarkBaselineNaiveRR(b *testing.B) {
 // BenchmarkAblationDimensionReduction measures the retention each design
 // stage buys (naive RR vs key frames vs key frames + OPT).
 func BenchmarkAblationDimensionReduction(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT01")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -244,6 +255,7 @@ func BenchmarkAblationDimensionReduction(b *testing.B) {
 func BenchmarkSanitizeEndToEnd(b *testing.B) {
 	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
 		b.Run(name, func(b *testing.B) {
+			recordBench(b)
 			d := dataset(b, name)
 			cfg := d.SanitizerConfig(0.1, 1, true)
 			b.ResetTimer()
@@ -260,6 +272,7 @@ func BenchmarkSanitizeEndToEnd(b *testing.B) {
 // BenchmarkDetectAndTrack measures the preprocessing pipeline (median
 // background + subtraction + SORT tracking) per frame.
 func BenchmarkDetectAndTrack(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT01")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -276,6 +289,7 @@ func BenchmarkDetectAndTrack(b *testing.B) {
 // BenchmarkAttackReidentification runs the background-knowledge
 // re-identification comparison (unsanitized vs blur vs VERRO).
 func BenchmarkAttackReidentification(b *testing.B) {
+	recordBench(b)
 	d := dataset(b, "MOT01")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"verro/internal/exp"
+	"verro/internal/par"
 	"verro/internal/report"
 	"verro/internal/scene"
 )
@@ -31,8 +32,12 @@ func main() {
 		videos  = flag.String("video", "MOT01,MOT03,MOT06", "comma-separated benchmark videos")
 		tracked = flag.Bool("tracked", false, "use detected+tracked objects instead of ground truth")
 		html    = flag.String("html", "", "also write a self-contained HTML report to this path")
+		workers = flag.Int("workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
 
 	opt := exp.Options{Scale: *scale, Trials: *trials, Seed: *seed, UseTrackedObjects: *tracked}
 	if err := runAll(*run, *videos, *out, *html, opt); err != nil {

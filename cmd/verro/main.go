@@ -7,6 +7,7 @@
 //
 //	verro -in video.vvf [-tracks gt.csv] -out synthetic.vvf
 //	      [-f 0.1] [-eps 0] [-seed 1] [-png 0] [-laplace 0] [-no-opt]
+//	      [-workers N]
 //
 // Either -f (flip probability) or -eps (total ε budget; converted to f
 // using the number of key frames picked on a dry run) sets the privacy
@@ -20,6 +21,7 @@ import (
 	"path/filepath"
 
 	"verro"
+	"verro/internal/par"
 )
 
 func main() {
@@ -35,11 +37,15 @@ func main() {
 		noOpt   = flag.Bool("no-opt", false, "disable key-frame optimization (use all key frames)")
 		multi   = flag.Bool("multitype", false, "sanitize each object class independently (Section 5)")
 		gifN    = flag.Int("gif", 0, "also export an animated GIF sampling every Nth frame (0 = none)")
+		workers = flag.Int("workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *workers > 0 {
+		par.SetWorkers(*workers)
 	}
 	if err := run(*in, *tracksP, *out, *f, *eps, *seed, *pngN, *laplace, *noOpt, *multi, *gifN); err != nil {
 		fmt.Fprintln(os.Stderr, "verro:", err)

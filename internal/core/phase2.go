@@ -6,10 +6,12 @@ import (
 
 	"verro/internal/assign"
 	"verro/internal/geom"
+	"verro/internal/img"
 	"verro/internal/inpaint"
 	"verro/internal/interp"
 	"verro/internal/keyframe"
 	"verro/internal/motio"
+	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/vid"
 )
@@ -313,6 +315,55 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 	// videos of the same scene).
 	colorOffset := rng.Intn(1 << 16)
 
+	// Frames render independently on the worker pool: every RNG draw above
+	// happened on the coordinator, DrawObject/syntheticBox are pure given
+	// their frame, and each worker touches only its own frame clone and
+	// record list. Frames and track records are gathered in frame order, so
+	// the synthetic video and tracks are bit-identical to a serial render.
+	type recordEntry struct {
+		id  int
+		box geom.Rect
+	}
+	type frameResult struct {
+		frame *img.Image
+		recs  []recordEntry
+		err   error
+	}
+	renderFrame := func(k int) frameResult {
+		// Depth-sort: draw farther (smaller y) objects first. perFrame[k]
+		// is owned by this frame, so the in-place sort is race-free.
+		ps := perFrame[k]
+		for a := 1; a < len(ps); a++ {
+			for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
+				ps[b], ps[b-1] = ps[b-1], ps[b]
+			}
+		}
+		var res frameResult
+		if cfg.SkipRender {
+			for _, pl := range ps {
+				res.recs = append(res.recs, recordEntry{pl.id, syntheticBox(cfg.Class, pl.pos, h)})
+			}
+			return res
+		}
+		bg, err := scenes.Background(k)
+		if err != nil {
+			res.err = fmt.Errorf("core: background for frame %d: %w", k, err)
+			return res
+		}
+		if bg.W != w || bg.H != h {
+			res.err = fmt.Errorf("core: background %dx%d does not match %dx%d", bg.W, bg.H, w, h)
+			return res
+		}
+		frame := bg.Clone()
+		for _, pl := range ps {
+			phase := float64(k) * 0.35
+			res.recs = append(res.recs, recordEntry{pl.id, scene.DrawObject(frame, cfg.Class, scene.Palette(pl.id+colorOffset), pl.pos, phase)})
+		}
+		res.frame = frame
+		return res
+	}
+	rendered := par.Map(numFrames, 1, renderFrame)
+
 	synthTracks := make(map[int]*motio.Track)
 	record := func(k, id int, box geom.Rect) {
 		vis := box.Intersect(bounds)
@@ -327,33 +378,17 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 		}
 		tr.Set(k, vis)
 	}
-	for k := 0; k < numFrames; k++ {
-		// Depth-sort: draw farther (smaller y) objects first.
-		ps := perFrame[k]
-		for a := 1; a < len(ps); a++ {
-			for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
-				ps[b], ps[b-1] = ps[b-1], ps[b]
-			}
+	for k, fr := range rendered {
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		for _, r := range fr.recs {
+			record(k, r.id, r.box)
 		}
 		if cfg.SkipRender {
-			for _, pl := range ps {
-				record(k, pl.id, syntheticBox(cfg.Class, pl.pos, h))
-			}
 			continue
 		}
-		bg, err := scenes.Background(k)
-		if err != nil {
-			return nil, fmt.Errorf("core: background for frame %d: %w", k, err)
-		}
-		if bg.W != w || bg.H != h {
-			return nil, fmt.Errorf("core: background %dx%d does not match %dx%d", bg.W, bg.H, w, h)
-		}
-		frame := bg.Clone()
-		for _, pl := range ps {
-			phase := float64(k) * 0.35
-			record(k, pl.id, scene.DrawObject(frame, cfg.Class, scene.Palette(pl.id+colorOffset), pl.pos, phase))
-		}
-		if err := out.Append(frame); err != nil {
+		if err := out.Append(fr.frame); err != nil {
 			return nil, err
 		}
 	}

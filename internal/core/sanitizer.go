@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"time"
 
+	"verro/internal/detect"
 	"verro/internal/inpaint"
 	"verro/internal/keyframe"
 	"verro/internal/motio"
+	"verro/internal/par"
 	"verro/internal/vid"
 )
 
@@ -18,10 +20,16 @@ type Config struct {
 	Keyframe keyframe.Config
 	Inpaint  inpaint.Config
 	// BackgroundStep subsamples frames feeding the temporal background
-	// median; 0 means an automatic stride targeting ~40 samples.
+	// median; 0 means an automatic stride targeting ~40 samples (clamped so
+	// the median stack never drops below 9 frames).
 	BackgroundStep int
 	// Seed drives all randomness in the run.
 	Seed int64
+	// Workers overrides the worker-pool size for this run (0 keeps the
+	// process-wide setting: VERRO_WORKERS or GOMAXPROCS). All randomness is
+	// drawn on the coordinating goroutine, so the sanitized output is
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // DefaultConfig assembles the defaults of every stage.
@@ -64,6 +72,9 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	if tracks == nil {
 		return nil, fmt.Errorf("core: nil track set")
 	}
+	if cfg.Workers > 0 {
+		defer par.SetWorkers(par.SetWorkers(cfg.Workers))
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Preprocessing: segmentation/key frames and background scene(s).
@@ -90,10 +101,7 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	if !cfg.Phase2.SkipRender {
 		step := cfg.BackgroundStep
 		if step <= 0 {
-			step = v.Len() / 40
-			if step < 1 {
-				step = 1
-			}
+			step = detect.AutoStep(v.Len())
 		}
 		scenes, err = inpaint.ExtractScenes(v, tracks, step, cfg.Inpaint)
 		if err != nil {

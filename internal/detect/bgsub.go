@@ -6,6 +6,7 @@ import (
 
 	"verro/internal/geom"
 	"verro/internal/img"
+	"verro/internal/par"
 )
 
 // BGSubtractor detects moving objects in static-camera footage by
@@ -141,14 +142,38 @@ func MedianBackground(frames []*img.Image, step int) (*img.Image, error) {
 	}
 	out := img.New(w, h)
 	n := len(sample)
-	vals := make([]uint8, n)
-	for idx := 0; idx < w*h*3; idx++ {
-		for s, f := range sample {
-			vals[s] = f.Pix[idx]
+	// Each channel value is an independent median, so the pixel plane shards
+	// over the worker pool; workers read the shared frame stack and write
+	// disjoint ranges of out.Pix, keeping the result bit-identical to the
+	// serial loop at any worker count.
+	par.For(w*h*3, 4096, func(lo, hi int) {
+		vals := make([]uint8, n)
+		for idx := lo; idx < hi; idx++ {
+			for s, f := range sample {
+				vals[s] = f.Pix[idx]
+			}
+			out.Pix[idx] = medianU8(vals)
 		}
-		out.Pix[idx] = medianU8(vals)
-	}
+	})
 	return out, nil
+}
+
+// AutoStep returns the automatic background-sampling stride for an n-frame
+// clip: it targets ~40 sampled frames but never lets the sampled stack drop
+// below 9 frames (or below the whole clip when the clip itself is shorter) —
+// a thin median stack lets moving objects bleed into the background model.
+func AutoStep(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	step := n / 40
+	if step < 1 {
+		step = 1
+	}
+	for step > 1 && (n+step-1)/step < 9 {
+		step--
+	}
+	return step
 }
 
 // medianU8 computes the median in place via counting (256 buckets), which

@@ -237,3 +237,56 @@ func TestHOGSVMVehicleDetector(t *testing.T) {
 		t.Fatalf("vehicle detector should find the sprite: %v (ds=%v)", q, ds)
 	}
 }
+
+func TestAutoStepSamplesAtLeastNineFrames(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {5, 1}, {10, 1}, {39, 1},
+		{40, 1}, {80, 2}, {360, 9}, {400, 10}, {1500, 37},
+	}
+	for _, c := range cases {
+		if got := AutoStep(c.n); got != c.want {
+			t.Errorf("AutoStep(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	for n := 1; n <= 2000; n++ {
+		step := AutoStep(n)
+		if step < 1 {
+			t.Fatalf("AutoStep(%d) = %d < 1", n, step)
+		}
+		samples := (n + step - 1) / step
+		min := 9
+		if n < min {
+			min = n
+		}
+		if samples < min {
+			t.Fatalf("AutoStep(%d) = %d samples only %d frames, want >= %d",
+				n, step, samples, min)
+		}
+	}
+}
+
+// TestMedianBackgroundShortClip is the 10-frame regression for the
+// automatic BackgroundStep: the full stack must feed the median so a moving
+// object cannot bake itself into the background model.
+func TestMedianBackgroundShortClip(t *testing.T) {
+	const w, h, n = 64, 48, 10
+	bgColor := img.RGB{R: 30, G: 30, B: 30}
+	frames := make([]*img.Image, n)
+	for k := range frames {
+		f := img.NewFilled(w, h, bgColor)
+		// Bright 8x8 object marching right 5px per frame.
+		f.Fill(geom.RectAt(2+5*k, 20, 8, 8), img.RGB{R: 220, G: 220, B: 220})
+		frames[k] = f
+	}
+	bg, err := MedianBackground(frames, AutoStep(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object covers each pixel in at most 2 of 10 frames, so a >= 9
+	// frame median recovers the clean background everywhere.
+	for i, v := range bg.Pix {
+		if v != 30 {
+			t.Fatalf("background pixel %d = %d, want 30 (object leaked into model)", i, v)
+		}
+	}
+}

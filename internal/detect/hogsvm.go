@@ -8,6 +8,7 @@ import (
 	"verro/internal/geom"
 	"verro/internal/hog"
 	"verro/internal/img"
+	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/svm"
 )
@@ -139,7 +140,17 @@ func (d *HOGSVM) Detect(frame *img.Image) ([]Detection, error) {
 		if ww > frame.W || wh > frame.H || ww < d.HOG.CellSize*d.HOG.BlockSize {
 			continue
 		}
-		for y := 0; y+wh <= frame.H; y += stride {
+		// Window rows are independent: each worker scans whole rows and the
+		// per-row hits are gathered in row order, so the detection sequence
+		// feeding NMS is identical to the serial scan at any worker count.
+		nRows := (frame.H-wh)/stride + 1
+		type rowResult struct {
+			dets []Detection
+			err  error
+		}
+		rows := par.Map(nRows, 1, func(r int) rowResult {
+			y := r * stride
+			var res rowResult
 			for x := 0; x+ww <= frame.W; x += stride {
 				patch := frame.SubImage(geom.RectAt(x, y, ww, wh))
 				if s != 1 {
@@ -147,13 +158,21 @@ func (d *HOGSVM) Detect(frame *img.Image) ([]Detection, error) {
 				}
 				feat, err := hog.Compute(patch, d.HOG)
 				if err != nil {
-					return nil, err
+					res.err = err
+					return res
 				}
 				score := d.Model.Score(feat)
 				if score >= d.ScoreThreshold {
-					out = append(out, Detection{Box: geom.RectAt(x, y, ww, wh), Score: score})
+					res.dets = append(res.dets, Detection{Box: geom.RectAt(x, y, ww, wh), Score: score})
 				}
 			}
+			return res
+		})
+		for _, r := range rows {
+			if r.err != nil {
+				return nil, r.err
+			}
+			out = append(out, r.dets...)
 		}
 	}
 	return NMS(out, d.NMSIoU), nil

@@ -12,6 +12,7 @@ import (
 
 	"verro/internal/geom"
 	"verro/internal/img"
+	"verro/internal/par"
 )
 
 // Mask marks the pixels to fill (true = unknown/removed).
@@ -150,25 +151,35 @@ func Inpaint(src *img.Image, mask *Mask, cfg Config) (*img.Image, error) {
 
 	bounds := geom.R(0, 0, w, h)
 	maxIter := remaining + w + h
+	type cand struct {
+		x, y     int
+		priority float64
+	}
 	for iter := 0; remaining > 0 && iter < maxIter; iter++ {
-		// Collect fill-front pixels: masked with at least one known 4-neighbour.
-		type cand struct {
-			x, y     int
-			priority float64
-		}
-		best := cand{x: -1, priority: -1}
+		// Collect fill-front pixels: masked with at least one known
+		// 4-neighbour. The scan reads only frozen per-iteration state
+		// (image, mask, confidences, gradients), so rows are scored on the
+		// worker pool and reduced in row order; strict > keeps the serial
+		// scan's first-maximum tie-breaking.
 		gx, gy := out.Gradients() // isophotes of current (partially filled) image
-		for y := 0; y < h; y++ {
+		rowBests := par.Map(h, 8, func(y int) cand {
+			best := cand{x: -1, priority: -1}
 			for x := 0; x < w; x++ {
 				if !work.At(x, y) || !onFront(work, x, y) {
 					continue
 				}
 				c := patchConfidence(conf, work, x, y, half, w, h)
 				d := dataTerm(gx, gy, work, x, y, w, h)
-				p := c * d
-				if p > best.priority {
+				if p := c * d; p > best.priority {
 					best = cand{x: x, y: y, priority: p}
 				}
+			}
+			return best
+		})
+		best := cand{x: -1, priority: -1}
+		for _, rb := range rowBests {
+			if rb.x >= 0 && rb.priority > best.priority {
+				best = rb
 			}
 		}
 		if best.x < 0 {
@@ -287,10 +298,18 @@ func findSource(out *img.Image, work *Mask, target geom.Rect, radius int) (geom.
 		return work.At(target.Min.X+dx, target.Min.Y+dy)
 	}
 
-	bestSSD := math.Inf(1)
-	var best geom.Rect
-	found := false
-	for sy := y0; sy <= y1; sy++ {
+	// The SSD scan dominates inpainting cost. Source rows are scored on the
+	// worker pool (reads only: image, mask) and reduced in row order with a
+	// strict < comparison, which selects the same first-encountered minimum
+	// as the serial row-major scan — ties cannot change the winner.
+	type rowBest struct {
+		ssd   float64
+		rect  geom.Rect
+		found bool
+	}
+	rows := par.Map(y1-y0+1, 1, func(r int) rowBest {
+		sy := y0 + r
+		best := rowBest{ssd: math.Inf(1)}
 		for sx := x0; sx <= x1; sx++ {
 			if sx == target.Min.X && sy == target.Min.Y {
 				continue
@@ -299,12 +318,20 @@ func findSource(out *img.Image, work *Mask, target geom.Rect, radius int) (geom.
 				continue
 			}
 			cand := geom.RectAt(sx, sy, tw, th)
-			ssd := img.SSD(out, target, out, cand, skip)
-			if ssd < bestSSD {
-				bestSSD = ssd
-				best = cand
-				found = true
+			if ssd := img.SSD(out, target, out, cand, skip); ssd < best.ssd {
+				best = rowBest{ssd: ssd, rect: cand, found: true}
 			}
+		}
+		return best
+	})
+	bestSSD := math.Inf(1)
+	var best geom.Rect
+	found := false
+	for _, r := range rows {
+		if r.found && r.ssd < bestSSD {
+			bestSSD = r.ssd
+			best = r.rect
+			found = true
 		}
 	}
 	return best, found

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"verro/internal/img"
+	"verro/internal/par"
 	"verro/internal/vid"
 )
 
@@ -80,11 +81,13 @@ func Extract(v *vid.Video, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("keyframe: non-positive bin counts %d/%d/%d", cfg.HBins, cfg.SBins, cfg.VBins)
 	}
 
-	// Per-frame histograms (line 4-6).
-	hists := make([]*img.HSVHist, v.Len())
-	for k := 0; k < v.Len(); k++ {
-		hists[k] = img.NewHSVHist(v.Frame(k), cfg.HBins, cfg.SBins, cfg.VBins)
-	}
+	// Per-frame histograms (line 4-6): independent per frame, computed on
+	// the worker pool with an index-ordered gather; the greedy segmentation
+	// below stays serial because each decision depends on the running
+	// segment histogram.
+	hists := par.Map(v.Len(), 1, func(k int) *img.HSVHist {
+		return img.NewHSVHist(v.Frame(k), cfg.HBins, cfg.SBins, cfg.VBins)
+	})
 
 	// Greedy segmentation (lines 3-16). The segment is represented by the
 	// running mean histogram of its members.

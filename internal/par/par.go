@@ -1,0 +1,142 @@
+// Package par is the deterministic worker pool under VERRO's hot
+// computer-vision loops. Every parallel construct here is *scheduling-only*
+// parallelism: work is sharded over contiguous index ranges, workers write
+// disjoint outputs, and all randomness stays on the caller (the
+// coordinator-draws-RNG rule of DESIGN.md), so the result of any converted
+// loop is bit-identical whether it runs on one worker or many. That
+// invariant is what lets the seeded experiment harness keep its
+// reproducibility guarantees while the pipeline saturates the machine.
+//
+// The pool size resolves in priority order:
+//
+//  1. the last SetWorkers call with n > 0 (tests, config plumbing),
+//  2. the VERRO_WORKERS environment variable (CI forcing serial runs),
+//  3. runtime.GOMAXPROCS(0).
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds the process-wide worker-count override; 0 means "auto".
+var override atomic.Int64
+
+func init() {
+	if s := os.Getenv("VERRO_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			override.Store(int64(n))
+		}
+	}
+}
+
+// SetWorkers overrides the pool size for the whole process and returns the
+// previous override so callers can restore it (0 restores automatic
+// sizing). Negative values are treated as 0. The override affects only
+// scheduling — converted loops produce identical output at any setting — so
+// concurrent callers cannot corrupt results, only each other's throughput.
+func SetWorkers(n int) (prev int) {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int64(n)))
+}
+
+// Workers reports the current pool size: the SetWorkers/VERRO_WORKERS
+// override when present, otherwise runtime.GOMAXPROCS.
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn over [0, n) split into contiguous chunks of at least grain
+// indices, at most one chunk in flight per worker. fn(lo, hi) must touch
+// only state derivable from its index range (shared inputs read-only,
+// outputs disjoint per index); under that contract the aggregate effect is
+// identical to fn(0, n). grain < 1 is treated as 1. A panic inside fn is
+// re-raised on the caller; when several chunks panic, the one covering the
+// lowest index range wins, so failures are deterministic too.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	workers := Workers()
+	if chunks > workers {
+		chunks = workers
+	}
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	size := (n + chunks - 1) / chunks
+
+	type failure struct {
+		chunk int
+		value any
+	}
+	var (
+		next  atomic.Int64
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first *failure
+	)
+	run := func(c int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if first == nil || c < first.chunk {
+					first = &failure{chunk: c, value: r}
+				}
+				mu.Unlock()
+			}
+		}()
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+	wg.Add(chunks)
+	for w := 0; w < chunks; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				run(c)
+			}
+		}()
+	}
+	// The chunk-claim counter hands each goroutine exactly one chunk here
+	// (chunks == goroutines), but the loop shape keeps the scheduler honest
+	// if the two ever diverge.
+	wg.Wait()
+	if first != nil {
+		panic(first.value)
+	}
+}
+
+// Map computes out[i] = fn(i) for i in [0, n) with the same sharding and
+// determinism contract as For: fn must be pure with respect to shared state,
+// and the gathered slice is index-ordered regardless of scheduling.
+func Map[T any](n, grain int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i)
+		}
+	})
+	return out
+}

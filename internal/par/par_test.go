@@ -1,0 +1,196 @@
+package par
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// withWorkers runs fn under a fixed worker count and restores the previous
+// override afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	fn()
+}
+
+func TestWorkersResolutionOrder(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	if Workers() < 1 {
+		t.Fatalf("auto Workers() = %d, want >= 1", Workers())
+	}
+	if got := SetWorkers(7); got != 0 {
+		t.Fatalf("previous override = %d, want 0", got)
+	}
+	if Workers() != 7 {
+		t.Fatalf("Workers() = %d after SetWorkers(7)", Workers())
+	}
+	if got := SetWorkers(-3); got != 7 {
+		t.Fatalf("previous override = %d, want 7", got)
+	}
+	if Workers() < 1 {
+		t.Fatal("negative SetWorkers must fall back to auto sizing")
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 100} {
+				withWorkers(t, workers, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo > hi {
+							t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times",
+								workers, n, grain, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestForRespectsGrain(t *testing.T) {
+	// With grain >= n the loop must run as a single serial chunk.
+	withWorkers(t, 8, func() {
+		var calls atomic.Int32
+		For(10, 100, func(lo, hi int) {
+			calls.Add(1)
+			if lo != 0 || hi != 10 {
+				t.Errorf("expected one chunk [0,10), got [%d,%d)", lo, hi)
+			}
+		})
+		if calls.Load() != 1 {
+			t.Fatalf("grain>=n produced %d chunks, want 1", calls.Load())
+		}
+	})
+}
+
+func TestMapMatchesSerialReference(t *testing.T) {
+	fn := func(i int) int { return i*i - 3*i }
+	want := make([]int, 257)
+	for i := range want {
+		want[i] = fn(i)
+	}
+	for _, workers := range []int{1, 2, 8, 32} {
+		withWorkers(t, workers, func() {
+			got := Map(len(want), 1, fn)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: Map[%d] = %d, want %d", workers, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMapEquivalenceProperty is the package's core property: for random
+// shapes, worker counts, and grains, Map is indistinguishable from the
+// serial loop.
+func TestMapEquivalenceProperty(t *testing.T) {
+	prop := func(seed int64, rawN, rawGrain, rawWorkers uint8) bool {
+		n := int(rawN)
+		grain := int(rawGrain)%32 + 1
+		workers := int(rawWorkers)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		table := make([]float64, n)
+		for i := range table {
+			table[i] = rng.NormFloat64()
+		}
+		fn := func(i int) float64 { return table[i]*float64(i) + 0.5 }
+		serial := make([]float64, n)
+		for i := range serial {
+			serial[i] = fn(i)
+		}
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		got := Map(n, grain, fn)
+		for i := range serial {
+			if got[i] != serial[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want \"boom\"", r)
+			}
+		}()
+		For(100, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+		t.Fatal("For must re-raise the worker panic")
+	})
+}
+
+func TestForOversubscription(t *testing.T) {
+	// Far more workers than indices or cores: still exactly-once coverage.
+	withWorkers(t, 64, func() {
+		var sum atomic.Int64
+		For(1000, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if sum.Load() != 1000*999/2 {
+			t.Fatalf("sum = %d, want %d", sum.Load(), 1000*999/2)
+		}
+	})
+}
+
+func TestNestedFor(t *testing.T) {
+	// Converted paths nest (frame-level Map around window-level For); the
+	// pool must stay correct when workers spawn their own parallel loops.
+	withWorkers(t, 4, func() {
+		outer := Map(8, 1, func(i int) int {
+			var s atomic.Int64
+			For(100, 10, func(lo, hi int) {
+				for j := lo; j < hi; j++ {
+					s.Add(int64(j))
+				}
+			})
+			return int(s.Load()) + i
+		})
+		for i, v := range outer {
+			if v != 100*99/2+i {
+				t.Fatalf("nested result[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	work := make([]float64, 1<<16)
+	for i := range work {
+		work[i] = float64(i)
+	}
+	for i := 0; i < b.N; i++ {
+		For(len(work), 4096, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				work[j] = work[j]*1.000001 + 1
+			}
+		})
+	}
+}

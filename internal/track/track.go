@@ -16,6 +16,7 @@ import (
 	"verro/internal/img"
 	"verro/internal/kalman"
 	"verro/internal/motio"
+	"verro/internal/par"
 )
 
 // Config tunes the tracker.
@@ -228,14 +229,26 @@ func (t *Tracker) Tracks() *motio.TrackSet {
 }
 
 // Run drives a detector over a whole frame sequence and returns the tracks.
+// Detection is stateless per frame, so all frames are detected on the worker
+// pool first; the stateful tracker then consumes the gathered results in
+// frame order, making the tracks bit-identical to a serial run. Detector
+// implementations must tolerate concurrent Detect calls (both built-in
+// detectors are pure readers of their model state).
 func Run(frames []*img.Image, det detect.Detector, cfg Config) (*motio.TrackSet, error) {
+	type detResult struct {
+		dets []detect.Detection
+		err  error
+	}
+	results := par.Map(len(frames), 1, func(i int) detResult {
+		ds, err := det.Detect(frames[i])
+		return detResult{dets: ds, err: err}
+	})
 	tr := New(cfg)
-	for _, f := range frames {
-		ds, err := det.Detect(f)
-		if err != nil {
-			return nil, err
+	for i, f := range frames {
+		if results[i].err != nil {
+			return nil, results[i].err
 		}
-		if err := tr.Step(f, ds); err != nil {
+		if err := tr.Step(f, results[i].dets); err != nil {
 			return nil, err
 		}
 	}

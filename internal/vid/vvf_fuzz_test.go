@@ -1,0 +1,72 @@
+package vid
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"verro/internal/img"
+)
+
+// FuzzVVF throws arbitrary byte streams at the .vvf decoder. Invariants:
+// Decode must return an error — never panic — on malformed input, and any
+// stream it accepts must survive a re-encode/decode round trip bit-exactly.
+//
+// Run a longer session with: go test -run=^$ -fuzz=FuzzVVF -fuzztime=60s ./internal/vid/
+func FuzzVVF(f *testing.F) {
+	seed := func(frames, w, h int, moving bool) []byte {
+		v := New("fuzz", w, h, 25)
+		v.Moving = moving
+		for i := 0; i < frames; i++ {
+			fr := img.New(w, h)
+			for p := range fr.Pix {
+				fr.Pix[p] = uint8(p*31 + i*7)
+			}
+			if err := v.Append(fr); err != nil {
+				f.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := seed(3, 16, 12, true)
+	f.Add(valid)
+	f.Add(seed(0, 8, 8, false))
+	f.Add(seed(1, 1, 1, false))
+	f.Add(valid[:len(valid)/2]) // truncated mid-payload
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0x40
+	f.Add(corrupted) // bit flip inside the gzip body
+	f.Add([]byte(vvfMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: that is the contract for garbage input
+		}
+		var buf bytes.Buffer
+		if _, err := Encode(&buf, v); err != nil {
+			t.Fatalf("re-encode of accepted stream failed: %v", err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		// FPS compares by bits: fuzzed headers can carry NaN payloads, which
+		// Encode preserves exactly but == would reject.
+		if back.W != v.W || back.H != v.H || back.Len() != v.Len() ||
+			math.Float64bits(back.FPS) != math.Float64bits(v.FPS) ||
+			back.Moving != v.Moving || back.Name != v.Name {
+			t.Fatalf("round trip changed header: got %v, want %v", back, v)
+		}
+		for i := range v.Frames {
+			if !bytes.Equal(v.Frame(i).Pix, back.Frame(i).Pix) {
+				t.Fatalf("round trip changed frame %d", i)
+			}
+		}
+	})
+}

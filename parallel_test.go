@@ -1,0 +1,205 @@
+package verro
+
+// The parallel-equivalence suite is the proof obligation of the worker-pool
+// layer (internal/par): every converted hot path must produce bit-identical
+// output whether it runs on one worker or many, because the experiment
+// harness (EXPERIMENTS.md) depends on seeded reproducibility. The tests
+// here run the same seeded pipelines at workers=1 and workers=8 and compare
+// every artifact byte for byte: recovered tracks, presence vectors,
+// synthetic tracks, raw frames, and the encoded .vvf stream.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"verro/internal/detect"
+	"verro/internal/geom"
+	"verro/internal/img"
+	"verro/internal/inpaint"
+	"verro/internal/par"
+	"verro/internal/vid"
+)
+
+// equivScale shrinks the benchmark presets so the double runs stay
+// CI-friendly while still exercising every pipeline stage (detection,
+// tracking, key frames, background median, inpainting, rendering).
+const equivScale = 0.25
+
+func withWorkersT(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := par.SetWorkers(n)
+	defer par.SetWorkers(prev)
+	fn()
+}
+
+type pipelineArtifacts struct {
+	tracks    *TrackSet
+	presence  [][]bool
+	synTracks *TrackSet
+	synFrames []*img.Image
+	encoded   []byte
+}
+
+// runPipeline executes detect→track→sanitize for a preset at the current
+// worker setting and captures every published artifact.
+func runPipeline(t *testing.T, name string) pipelineArtifacts {
+	t.Helper()
+	preset, err := BenchmarkPreset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(equivScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := DetectAndTrack(g.Video, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	res, err := Sanitize(g.Video, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var presence [][]bool
+	for _, v := range res.Phase1.Output {
+		presence = append(presence, []bool(v))
+	}
+	var buf bytes.Buffer
+	if _, err := vid.Encode(&buf, res.Synthetic); err != nil {
+		t.Fatal(err)
+	}
+	return pipelineArtifacts{
+		tracks:    tracks,
+		presence:  presence,
+		synTracks: res.SyntheticTracks,
+		synFrames: res.Synthetic.Frames,
+		encoded:   buf.Bytes(),
+	}
+}
+
+func compareArtifacts(t *testing.T, serial, parallel pipelineArtifacts) {
+	t.Helper()
+	if !reflect.DeepEqual(serial.tracks, parallel.tracks) {
+		t.Error("recovered tracks differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(serial.presence, parallel.presence) {
+		t.Error("randomized presence vectors differ between workers=1 and workers=8")
+	}
+	if !reflect.DeepEqual(serial.synTracks, parallel.synTracks) {
+		t.Error("synthetic tracks differ between workers=1 and workers=8")
+	}
+	if len(serial.synFrames) != len(parallel.synFrames) {
+		t.Fatalf("synthetic frame counts differ: %d vs %d",
+			len(serial.synFrames), len(parallel.synFrames))
+	}
+	for k := range serial.synFrames {
+		if !bytes.Equal(serial.synFrames[k].Pix, parallel.synFrames[k].Pix) {
+			t.Fatalf("synthetic frame %d differs between workers=1 and workers=8", k)
+		}
+	}
+	if !bytes.Equal(serial.encoded, parallel.encoded) {
+		t.Error("encoded .vvf streams differ between workers=1 and workers=8")
+	}
+}
+
+// TestParallelEquivalence proves the worker pool is scheduling-only: the
+// full detect→track→sanitize pipeline at workers=1 and workers=8 produces
+// byte-identical artifacts on all three benchmark presets.
+func TestParallelEquivalence(t *testing.T) {
+	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
+		t.Run(name, func(t *testing.T) {
+			var serial, parallel pipelineArtifacts
+			withWorkersT(t, 1, func() { serial = runPipeline(t, name) })
+			withWorkersT(t, 8, func() { parallel = runPipeline(t, name) })
+			compareArtifacts(t, serial, parallel)
+		})
+	}
+}
+
+// TestParallelEquivalenceHOGDetection covers the sliding-window pyramid
+// path, which the background-subtraction default does not reach.
+func TestParallelEquivalenceHOGDetection(t *testing.T) {
+	preset, err := BenchmarkPreset("MOT01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultPipelineConfig()
+	cfg.Detector = DetectorHOGSVM
+	run := func(workers int) *TrackSet {
+		cfg.Workers = workers
+		tr, err := DetectAndTrack(g.Video, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("HOG+SVM tracks differ between workers=1 and workers=8")
+	}
+}
+
+// TestParallelEquivalenceInpaint drives the Criminisi filler directly: the
+// always-covered-pixel case in a real pipeline is rare, so the SSD-search
+// and fill-front conversions get a dedicated byte-identity check.
+func TestParallelEquivalenceInpaint(t *testing.T) {
+	src := img.New(64, 48)
+	for y := 0; y < src.H; y++ {
+		for x := 0; x < src.W; x++ {
+			src.Set(x, y, img.RGB{
+				R: uint8(40 + 3*(x%16)),
+				G: uint8(90 + 5*(y%8)),
+				B: uint8((x + y) % 256),
+			})
+		}
+	}
+	mask := inpaint.NewMask(64, 48)
+	mask.SetRect(geom.RectAt(20, 15, 18, 12), true)
+	run := func(workers int) *img.Image {
+		var out *img.Image
+		withWorkersT(t, workers, func() {
+			var err error
+			out, err = inpaint.Inpaint(src, mask, inpaint.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return out
+	}
+	if serial, parallel := run(1), run(8); !bytes.Equal(serial.Pix, parallel.Pix) {
+		t.Fatal("inpainted images differ between workers=1 and workers=8")
+	}
+}
+
+// TestParallelEquivalenceMedianBackground checks the per-pixel median model
+// byte for byte at an awkward pixel count (shards don't divide evenly).
+func TestParallelEquivalenceMedianBackground(t *testing.T) {
+	frames := make([]*img.Image, 17)
+	for i := range frames {
+		f := img.New(53, 31)
+		for p := range f.Pix {
+			f.Pix[p] = uint8((p*7 + i*13) % 256)
+		}
+		frames[i] = f
+	}
+	run := func(workers int) *img.Image {
+		var out *img.Image
+		withWorkersT(t, workers, func() {
+			var err error
+			out, err = detect.MedianBackground(frames, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return out
+	}
+	if serial, parallel := run(1), run(8); !bytes.Equal(serial.Pix, parallel.Pix) {
+		t.Fatal("median backgrounds differ between workers=1 and workers=8")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"verro/internal/detect"
+	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/track"
 )
@@ -23,6 +24,10 @@ type PipelineConfig struct {
 	Style scene.Style
 	// Seed drives detector training randomness.
 	Seed int64
+	// Workers overrides the worker-pool size for this call (0 keeps the
+	// process-wide setting: VERRO_WORKERS or GOMAXPROCS). The output is
+	// bit-identical at any worker count; only wall-clock time changes.
+	Workers int
 }
 
 // DetectorKind selects a detection algorithm.
@@ -54,6 +59,9 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 	if v == nil || v.Len() == 0 {
 		return nil, fmt.Errorf("verro: empty video")
 	}
+	if cfg.Workers > 0 {
+		defer par.SetWorkers(par.SetWorkers(cfg.Workers))
+	}
 	var det detect.Detector
 	switch cfg.Detector {
 	case DetectorHOGSVM:
@@ -65,10 +73,7 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 	case DetectorBackgroundSub:
 		step := cfg.BackgroundStep
 		if step <= 0 {
-			step = v.Len() / 40
-			if step < 1 {
-				step = 1
-			}
+			step = detect.AutoStep(v.Len())
 		}
 		bg, err := detect.MedianBackground(v.Frames, step)
 		if err != nil {

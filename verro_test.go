@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"verro/internal/geom"
+	"verro/internal/img"
 	"verro/internal/scene"
 )
 
@@ -191,5 +193,30 @@ func TestPublicSanitizeJoint(t *testing.T) {
 	}
 	if res.Epsilon <= 0 || res.Epsilon > 32 {
 		t.Fatalf("joint epsilon = %v", res.Epsilon)
+	}
+}
+
+// TestDetectAndTrackShortClip is the regression for the automatic
+// BackgroundStep on short videos: a 10-frame clip must feed (at least) nine
+// frames into the median background model, so the moving object is detected
+// and tracked rather than absorbed into the background.
+func TestDetectAndTrackShortClip(t *testing.T) {
+	v := NewVideo("short", 64, 48, 30)
+	for k := 0; k < 10; k++ {
+		f := img.NewFilled(64, 48, img.RGB{R: 30, G: 30, B: 30})
+		f.Fill(geom.RectAt(2+5*k, 20, 8, 8), img.RGB{R: 220, G: 220, B: 220})
+		if err := v.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks, err := DetectAndTrack(v, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracks.Len() != 1 {
+		t.Fatalf("tracks = %d, want exactly 1 moving object", tracks.Len())
+	}
+	if got := len(tracks.Tracks[0].Frames()); got < 5 {
+		t.Fatalf("track covers %d frames, want >= 5", got)
 	}
 }

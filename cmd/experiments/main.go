@@ -6,7 +6,7 @@
 //
 //	experiments [-run all|table1|table2|table3|fig5|fig678|fig91011|fig12|fig13|baseline|ablation|attack]
 //	            [-scale 1.0] [-trials 5] [-seed 1] [-out results] [-video MOT01,MOT03,MOT06]
-//	            [-tracked] [-html results/report.html]
+//	            [-tracked] [-html results/report.html] [-trace out.json] [-pprof addr]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"verro/internal/exp"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/report"
 	"verro/internal/scene"
@@ -33,16 +34,31 @@ func main() {
 		tracked = flag.Bool("tracked", false, "use detected+tracked objects instead of ground truth")
 		html    = flag.String("html", "", "also write a self-contained HTML report to this path")
 		workers = flag.Int("workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
+		traceP  = flag.String("trace", "", "write a JSON run report (span tree + counters; schema in DESIGN.md)")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
+	if *pprofA != "" {
+		obs.ServeDebug(*pprofA)
+	}
 
 	opt := exp.Options{Scale: *scale, Trials: *trials, Seed: *seed, UseTrackedObjects: *tracked}
+	if *traceP != "" {
+		opt.Trace = obs.NewTrace("experiments")
+	}
 	if err := runAll(*run, *videos, *out, *html, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if opt.Trace != nil {
+		if err := opt.Trace.WriteFile(*traceP); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace to %s\n%s", *traceP, opt.Trace.Report().Summary())
 	}
 }
 

@@ -7,11 +7,17 @@
 //
 //	verro -in video.vvf [-tracks gt.csv] -out synthetic.vvf
 //	      [-f 0.1] [-eps 0] [-seed 1] [-png 0] [-laplace 0] [-no-opt]
-//	      [-workers N]
+//	      [-workers N] [-trace out.json] [-pprof addr]
 //
 // Either -f (flip probability) or -eps (total ε budget; converted to f
 // using the number of key frames picked on a dry run) sets the privacy
 // level; -f wins when both are given.
+//
+// -trace writes a machine-readable run report (span tree per pipeline
+// stage, stage counters, worker-pool gauges; schema in DESIGN.md) and
+// prints a human-readable summary. -pprof serves net/http/pprof and expvar
+// (including live worker-pool stats) on the given address, e.g.
+// -pprof localhost:6060.
 package main
 
 import (
@@ -21,55 +27,82 @@ import (
 	"path/filepath"
 
 	"verro"
+	"verro/internal/obs"
 	"verro/internal/par"
 )
 
+// options collects the run parameters; flags bind to the fields directly.
+type options struct {
+	in, tracksPath, out string
+	f, eps              float64
+	seed                int64
+	pngN, gifN          int
+	laplace             float64
+	noOpt, multi        bool
+	workers             int
+	tracePath           string
+	pprofAddr           string
+}
+
 func main() {
-	var (
-		in      = flag.String("in", "", "input .vvf video (required)")
-		tracksP = flag.String("tracks", "", "object tracks CSV (optional; detected when empty)")
-		out     = flag.String("out", "synthetic.vvf", "output .vvf video")
-		f       = flag.Float64("f", 0.1, "flip probability in (0,1]")
-		eps     = flag.Float64("eps", 0, "total epsilon budget (overrides -f when > 0)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		pngN    = flag.Int("png", 0, "dump every Nth synthetic frame as PNG next to -out (0 = none)")
-		laplace = flag.Float64("laplace", 0, "epsilon' for Laplace noise on optimization statistics (0 = off)")
-		noOpt   = flag.Bool("no-opt", false, "disable key-frame optimization (use all key frames)")
-		multi   = flag.Bool("multitype", false, "sanitize each object class independently (Section 5)")
-		gifN    = flag.Int("gif", 0, "also export an animated GIF sampling every Nth frame (0 = none)")
-		workers = flag.Int("workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
-	)
+	var opt options
+	flag.StringVar(&opt.in, "in", "", "input .vvf video (required)")
+	flag.StringVar(&opt.tracksPath, "tracks", "", "object tracks CSV (optional; detected when empty)")
+	flag.StringVar(&opt.out, "out", "synthetic.vvf", "output .vvf video")
+	flag.Float64Var(&opt.f, "f", 0.1, "flip probability in (0,1]")
+	flag.Float64Var(&opt.eps, "eps", 0, "total epsilon budget (overrides -f when > 0)")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.IntVar(&opt.pngN, "png", 0, "dump every Nth synthetic frame as PNG next to -out (0 = none)")
+	flag.Float64Var(&opt.laplace, "laplace", 0, "epsilon' for Laplace noise on optimization statistics (0 = off)")
+	flag.BoolVar(&opt.noOpt, "no-opt", false, "disable key-frame optimization (use all key frames)")
+	flag.BoolVar(&opt.multi, "multitype", false, "sanitize each object class independently (Section 5)")
+	flag.IntVar(&opt.gifN, "gif", 0, "also export an animated GIF sampling every Nth frame (0 = none)")
+	flag.IntVar(&opt.workers, "workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
+	flag.StringVar(&opt.tracePath, "trace", "", "write a JSON run report (span tree + counters; schema in DESIGN.md)")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
-	if *in == "" {
+	if opt.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *workers > 0 {
-		par.SetWorkers(*workers)
+	if opt.workers > 0 {
+		par.SetWorkers(opt.workers)
 	}
-	if err := run(*in, *tracksP, *out, *f, *eps, *seed, *pngN, *laplace, *noOpt, *multi, *gifN); err != nil {
+	if opt.pprofAddr != "" {
+		obs.ServeDebug(opt.pprofAddr)
+	}
+	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "verro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, tracksPath, out string, f, eps float64, seed int64, pngN int, laplace float64, noOpt, multi bool, gifN int) error {
-	video, err := verro.ReadVideo(in)
+func run(opt options) error {
+	video, err := verro.ReadVideo(opt.in)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("input: %v\n", video)
 
+	// One trace covers the whole run: detection+tracking (when it runs) and
+	// the sanitizer stages all land in the same span tree.
+	var trace *verro.Trace
+	if opt.tracePath != "" {
+		trace = verro.NewTrace("verro")
+	}
+
 	var tracks *verro.TrackSet
-	if tracksPath != "" {
-		tracks, err = verro.LoadTracks(tracksPath)
+	if opt.tracksPath != "" {
+		tracks, err = verro.LoadTracks(opt.tracksPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("tracks: %d objects from %s\n", tracks.Len(), tracksPath)
+		fmt.Printf("tracks: %d objects from %s\n", tracks.Len(), opt.tracksPath)
 	} else {
 		fmt.Println("no tracks given; running detection + tracking...")
-		tracks, err = verro.DetectAndTrack(video, verro.DefaultPipelineConfig())
+		pcfg := verro.DefaultPipelineConfig()
+		pcfg.Trace = trace
+		tracks, err = verro.DetectAndTrack(video, pcfg)
 		if err != nil {
 			return err
 		}
@@ -77,31 +110,34 @@ func run(in, tracksPath, out string, f, eps float64, seed int64, pngN int, lapla
 	}
 
 	cfg := verro.DefaultConfig()
-	cfg.Seed = seed
-	cfg.Phase1.F = f
-	cfg.Phase1.Optimize = !noOpt
-	cfg.Phase1.LaplaceEps = laplace
-	if eps > 0 {
+	cfg.Seed = opt.seed
+	cfg.Phase1.F = opt.f
+	cfg.Phase1.Optimize = !opt.noOpt
+	cfg.Phase1.LaplaceEps = opt.laplace
+	cfg.Trace = trace
+	if opt.eps > 0 {
 		// Convert the ε budget to a flip probability: dry-run Phase I at a
 		// neutral f to learn how many key frames get picked, then invert.
+		// The dry run is untraced so its stages don't double-count.
 		dry := cfg
 		dry.Phase2.SkipRender = true
+		dry.Trace = nil
 		dryRes, err := verro.Sanitize(video, tracks, dry)
 		if err != nil {
 			return fmt.Errorf("dry run: %w", err)
 		}
 		k := len(dryRes.Phase1.Picked)
-		conv, err := verro.FlipProbability(k, eps)
+		conv, err := verro.FlipProbability(k, opt.eps)
 		if err != nil {
 			return err
 		}
 		cfg.Phase1.F = conv
-		fmt.Printf("eps=%.3f over %d picked key frames -> f=%.4f\n", eps, k, conv)
+		fmt.Printf("eps=%.3f over %d picked key frames -> f=%.4f\n", opt.eps, k, conv)
 	}
 
 	var synthetic *verro.Video
 	var synthTracks *verro.TrackSet
-	if multi {
+	if opt.multi {
 		res, err := verro.SanitizeMultiType(video, tracks, cfg)
 		if err != nil {
 			return err
@@ -123,16 +159,16 @@ func run(in, tracksPath, out string, f, eps float64, seed int64, pngN int, lapla
 	}
 	fmt.Printf("%d/%d objects retained\n", synthTracks.Len(), tracks.Len())
 
-	n, err := verro.WriteVideo(out, synthetic)
+	n, err := verro.WriteVideo(opt.out, synthetic)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.2f MB)\n", out, float64(n)/(1<<20))
+	fmt.Printf("wrote %s (%.2f MB)\n", opt.out, float64(n)/(1<<20))
 
-	if pngN > 0 {
-		dir := out + "-frames"
+	if opt.pngN > 0 {
+		dir := opt.out + "-frames"
 		count := 0
-		for k := 0; k < synthetic.Len(); k += pngN {
+		for k := 0; k < synthetic.Len(); k += opt.pngN {
 			path := filepath.Join(dir, fmt.Sprintf("frame%05d.png", k))
 			if err := synthetic.Frame(k).WritePNG(path); err != nil {
 				return err
@@ -141,12 +177,18 @@ func run(in, tracksPath, out string, f, eps float64, seed int64, pngN int, lapla
 		}
 		fmt.Printf("wrote %d PNG frames to %s\n", count, dir)
 	}
-	if gifN > 0 {
-		gifPath := out + ".gif"
-		if err := synthetic.WriteGIF(gifPath, gifN); err != nil {
+	if opt.gifN > 0 {
+		gifPath := opt.out + ".gif"
+		if err := synthetic.WriteGIF(gifPath, opt.gifN); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", gifPath)
+	}
+	if trace != nil {
+		if err := trace.WriteFile(opt.tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace to %s\n%s", opt.tracePath, trace.Report().Summary())
 	}
 	return nil
 }

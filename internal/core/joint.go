@@ -36,8 +36,10 @@ func SanitizeJoint(videos []*vid.Video, tracks []*motio.TrackSet, totalEps float
 	if len(videos) != len(tracks) {
 		return nil, fmt.Errorf("core: %d videos but %d track sets", len(videos), len(tracks))
 	}
-	if totalEps <= 0 {
-		return nil, fmt.Errorf("core: total epsilon %v must be positive", totalEps)
+	// The NaN check is load-bearing: NaN fails `<= 0` and would otherwise
+	// propagate through perCamEps and flipForBudget into every camera's f.
+	if math.IsNaN(totalEps) || math.IsInf(totalEps, 0) || totalEps <= 0 {
+		return nil, fmt.Errorf("core: total epsilon %v must be positive and finite", totalEps)
 	}
 	perCamEps := totalEps / float64(len(videos))
 

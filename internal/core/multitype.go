@@ -8,7 +8,10 @@ import (
 	"verro/internal/geom"
 	"verro/internal/inpaint"
 	"verro/internal/keyframe"
+	"verro/internal/ldp"
 	"verro/internal/motio"
+	"verro/internal/obs"
+	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/vid"
 )
@@ -49,6 +52,13 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	if tracks == nil {
 		return nil, fmt.Errorf("core: nil track set")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Scoped pool, same as Sanitize: cfg.Workers applies to this run only.
+	pool := par.NewPool(cfg.Workers)
+	cfg.Trace.AttachPool(pool)
+	root := cfg.Trace.Root()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Partition by class, preserving track order within a class.
@@ -78,7 +88,9 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	} else if kfCfg.MaxSegmentLen < 0 {
 		kfCfg.MaxSegmentLen = 0
 	}
-	kf, err := keyframe.Extract(v, kfCfg)
+	kfSpan := root.Child("keyframes")
+	kf, err := keyframe.ExtractRT(v, kfCfg, obs.Runtime{Pool: pool, Span: kfSpan})
+	kfSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +101,9 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 			step = 1
 		}
 	}
-	scenes, err := inpaint.ExtractScenes(v, tracks, step, cfg.Inpaint)
+	inSpan := root.Child("inpaint")
+	scenes, err := inpaint.ExtractScenesRT(v, tracks, step, cfg.Inpaint, obs.Runtime{Pool: pool, Span: inSpan})
+	inSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +123,8 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	var outs []classOut
 	idOffset := 0
 	p1Start := time.Now()
+	p1Span := root.Child("phase1")
+	p2Span := root.Child("phase2")
 	for _, name := range classNames {
 		set := classes[name]
 		full := PresenceVectors(set, v.Len())
@@ -120,6 +136,12 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 		if err != nil {
 			return nil, fmt.Errorf("core: phase 1 for class %q: %w", name, err)
 		}
+		p1Span.Add(obs.CKeyFramesPicked, int64(len(p1.Picked)))
+		var flips int64
+		for i := range p1.Output {
+			flips += int64(ldp.Hamming(p1.Optimal[i], p1.Output[i]))
+		}
+		p1Span.Add(obs.CRRBitsFlipped, flips)
 		res.PerClass[name] = p1
 		if p1.Epsilon > res.Epsilon {
 			res.Epsilon = p1.Epsilon
@@ -128,7 +150,8 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 		p2cfg := cfg.Phase2
 		p2cfg.Class = classOf(name)
 		p2cfg.SkipRender = true // tracks only; rendering happens jointly below
-		p2, err := RunPhase2(p1, kf, set, scenes, v.W, v.H, v.Len(), p2cfg, rng)
+		p2, err := RunPhase2RT(p1, kf, set, scenes, v.W, v.H, v.Len(), p2cfg, rng,
+			obs.Runtime{Pool: pool, Span: p2Span})
 		if err != nil {
 			return nil, fmt.Errorf("core: phase 2 for class %q: %w", name, err)
 		}
@@ -139,6 +162,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 		idOffset += set.Len() + 1
 		outs = append(outs, classOut{name: name, p2: p2})
 	}
+	p1Span.End()
 	res.Phase1Time = time.Since(p1Start)
 
 	// Joint rendering: composite every class's synthetic tracks over the
@@ -187,6 +211,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 		}
 	}
 	merged.Sort()
+	p2Span.End()
 	res.Phase2Time = time.Since(p2Start)
 	res.Synthetic = out
 	res.SyntheticTracks = merged

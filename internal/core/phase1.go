@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"verro/internal/ldp"
@@ -37,6 +38,27 @@ type Phase1Config struct {
 // DefaultPhase1Config mirrors the paper's default run: f = 0.1, OPT on.
 func DefaultPhase1Config() Phase1Config {
 	return Phase1Config{F: 0.1, Optimize: true, MinPicked: 2}
+}
+
+// Validate rejects privacy parameters outside their mathematical domain
+// before they reach the mechanisms. NaN fails every ordered comparison, so
+// each check names it explicitly — a NaN flip probability would otherwise
+// pass `F <= 0 || F > 1` and flow ε = K·ln((2−f)/f) all the way into the
+// published accounting.
+func (c Phase1Config) Validate() error {
+	if math.IsNaN(c.F) || c.F <= 0 || c.F > 1 {
+		return fmt.Errorf("core: flip probability %v outside (0,1]", c.F)
+	}
+	if math.IsNaN(c.LaplaceEps) || math.IsInf(c.LaplaceEps, 0) || c.LaplaceEps < 0 {
+		return fmt.Errorf("core: Laplace epsilon %v must be finite and non-negative", c.LaplaceEps)
+	}
+	if math.IsNaN(c.DensityFraction) || math.IsInf(c.DensityFraction, 0) || c.DensityFraction < 0 {
+		return fmt.Errorf("core: density fraction %v must be finite and non-negative", c.DensityFraction)
+	}
+	if c.MinPicked < 0 {
+		return fmt.Errorf("core: minimum picked key frames %d must be non-negative", c.MinPicked)
+	}
+	return nil
 }
 
 // Phase1Result captures everything Phase I produced.
@@ -90,8 +112,8 @@ func RunPhase1(reduced []ldp.BitVector, keyFrames []int, cfg Phase1Config, rng *
 	if ell == 0 {
 		return nil, ErrNoKeyFrames
 	}
-	if cfg.F <= 0 || cfg.F > 1 {
-		return nil, fmt.Errorf("core: flip probability %v outside (0,1]", cfg.F)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	for i, v := range reduced {
 		if len(v) != ell {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"verro/internal/assign"
@@ -11,6 +12,7 @@ import (
 	"verro/internal/interp"
 	"verro/internal/keyframe"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/vid"
@@ -195,12 +197,63 @@ func splitRuns(samples []interp.Sample, maxGap int) [][]interp.Sample {
 	return runs
 }
 
+// finiteVec reports whether both coordinates are finite numbers. Positions
+// must be checked before geom.Vec.Round: converting NaN/±Inf float64 to int
+// is implementation-defined in Go, so a blown-up Lagrange evaluation would
+// otherwise feed garbage to the in-bounds test.
+func finiteVec(p geom.Vec) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) &&
+		!math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// blowupLimit is how far (in frame diagonals) a Lagrange trajectory may
+// swing outside the frame before Phase II treats it as Runge blowup rather
+// than the paper's load-bearing out-of-frame suppression (Section 6.3).
+// Moderate excursions are kept — they prune ghost appearances at high f —
+// but excursions this extreme carry no signal and, with many control
+// points, only grow worse.
+const blowupLimit = 16.0
+
+// safeExtend evaluates the run with interp.ExtendToBorder and guards the
+// Lagrange path against catastrophic blowup: if any position is non-finite,
+// or the run has more control points than the hybrid cutoff and some
+// position lies further than blowupLimit frame diagonals from the frame
+// center, the run is re-evaluated with piecewise-linear interpolation (the
+// same fallback MethodHybrid applies a priori).
+func safeExtend(m interp.Method, run []interp.Sample, numFrames int, bounds geom.Rect, extend int) ([]int, geom.Polyline, error) {
+	frames, pos, err := interp.ExtendToBorder(m, run, numFrames, bounds, extend)
+	if err != nil || m != interp.MethodLagrange {
+		return frames, pos, err
+	}
+	center := geom.V(
+		(float64(bounds.Min.X)+float64(bounds.Max.X))/2,
+		(float64(bounds.Min.Y)+float64(bounds.Max.Y))/2,
+	)
+	limit := blowupLimit * math.Hypot(float64(bounds.Dx()), float64(bounds.Dy()))
+	runge := len(run) > interp.HybridCutoff
+	for _, p := range pos {
+		if !finiteVec(p) || (runge && p.Sub(center).Norm() > limit) {
+			return interp.ExtendToBorder(interp.MethodLinear, run, numFrames, bounds, extend)
+		}
+	}
+	return frames, pos, nil
+}
+
 // RunPhase2 generates the synthetic video from the Phase I output.
 // scenes provides the reconstructed background for every frame; kf is the
 // segmentation that produced p1.KeyFrames; tracks supplies the candidate
 // coordinates (their identities are stripped before use).
 func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 	scenes inpaint.Scenes, w, h, numFrames int, cfg Phase2Config, rng *rand.Rand) (*Phase2Result, error) {
+	return RunPhase2RT(p1, kf, tracks, scenes, w, h, numFrames, cfg, rng, obs.Runtime{})
+}
+
+// RunPhase2RT is RunPhase2 on an explicit runtime: frame rendering shards
+// over rt.Pool and render/loss counters land on rt.Span. The runtime is
+// observational only — every random draw happens on the coordinator, so the
+// output is bit-identical to RunPhase2 for the same rng stream.
+func RunPhase2RT(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
+	scenes inpaint.Scenes, w, h, numFrames int, cfg Phase2Config, rng *rand.Rand, rt obs.Runtime) (*Phase2Result, error) {
 
 	if p1 == nil || len(p1.Output) == 0 {
 		return nil, fmt.Errorf("core: phase 2 requires phase 1 output")
@@ -292,7 +345,7 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 			if len(run) == 1 {
 				extend = singleExtend
 			}
-			frames, positions, err := interp.ExtendToBorder(cfg.Interp, run, numFrames, bounds, extend)
+			frames, positions, err := safeExtend(cfg.Interp, run, numFrames, bounds, extend)
 			if err != nil {
 				return nil, fmt.Errorf("core: interpolate object %d: %w", i, err)
 			}
@@ -300,7 +353,10 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 				p := positions[idx]
 				// Suppress positions that interpolate outside the frame
 				// (Section 6.3): the object simply does not appear there.
-				if !p.Round().In(bounds) {
+				// Non-finite positions (possible only for non-Lagrange
+				// methods fed degenerate samples) are suppressed the same
+				// way instead of reaching the undefined NaN→int conversion.
+				if !finiteVec(p) || !p.Round().In(bounds) {
 					continue
 				}
 				perFrame[k] = append(perFrame[k], placed{id: i + 1, pos: p})
@@ -362,7 +418,7 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 		res.frame = frame
 		return res
 	}
-	rendered := par.Map(numFrames, 1, renderFrame)
+	rendered := par.MapPool(rt.Pool, numFrames, 1, renderFrame)
 
 	synthTracks := make(map[int]*motio.Track)
 	record := func(k, id int, box geom.Rect) {
@@ -378,10 +434,12 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 		}
 		tr.Set(k, vis)
 	}
+	var objectsRendered int64
 	for k, fr := range rendered {
 		if fr.err != nil {
 			return nil, fr.err
 		}
+		objectsRendered += int64(len(fr.recs))
 		for _, r := range fr.recs {
 			record(k, r.id, r.box)
 		}
@@ -393,6 +451,9 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 		}
 	}
 	synth.Sort()
+	rt.Span.Add(obs.CFramesRendered, int64(numFrames))
+	rt.Span.Add(obs.CObjectsRendered, objectsRendered)
+	rt.Span.Add(obs.CObjectsLost, int64(lost))
 
 	res := &Phase2Result{
 		Video:    out,

@@ -8,7 +8,9 @@ import (
 	"verro/internal/detect"
 	"verro/internal/inpaint"
 	"verro/internal/keyframe"
+	"verro/internal/ldp"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/vid"
 )
@@ -28,8 +30,13 @@ type Config struct {
 	// Workers overrides the worker-pool size for this run (0 keeps the
 	// process-wide setting: VERRO_WORKERS or GOMAXPROCS). All randomness is
 	// drawn on the coordinating goroutine, so the sanitized output is
-	// bit-identical at any worker count.
+	// bit-identical at any worker count. The override is scoped to this run's
+	// pool — concurrent Sanitize calls with different Workers never interfere.
 	Workers int
+	// Trace, when non-nil, collects a span per pipeline stage plus stage
+	// counters and worker-pool gauges. Nil (the default) disables all
+	// instrumentation at zero cost; tracing never perturbs the seeded output.
+	Trace *obs.Trace
 }
 
 // DefaultConfig assembles the defaults of every stage.
@@ -41,6 +48,14 @@ func DefaultConfig() Config {
 		Inpaint:  inpaint.DefaultConfig(),
 		Seed:     1,
 	}
+}
+
+// Validate rejects configurations whose privacy parameters are outside
+// their mathematical domain. Sanitize calls it on entry so an invalid flip
+// probability fails fast instead of surfacing after minutes of key-frame
+// extraction and background reconstruction.
+func (c Config) Validate() error {
+	return c.Phase1.Validate()
 }
 
 // Result is the sanitizer output: the publishable synthetic video plus the
@@ -72,9 +87,15 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	if tracks == nil {
 		return nil, fmt.Errorf("core: nil track set")
 	}
-	if cfg.Workers > 0 {
-		defer par.SetWorkers(par.SetWorkers(cfg.Workers))
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	// A scoped pool (not the former global SetWorkers save/restore, which was
+	// non-reentrant) so concurrent Sanitize calls with different Workers each
+	// get their own size. Workers <= 0 falls through to the process default.
+	pool := par.NewPool(cfg.Workers)
+	cfg.Trace.AttachPool(pool)
+	root := cfg.Trace.Root()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Preprocessing: segmentation/key frames and background scene(s).
@@ -93,7 +114,9 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	case kfCfg.MaxSegmentLen < 0:
 		kfCfg.MaxSegmentLen = 0
 	}
-	kf, err := keyframe.Extract(v, kfCfg)
+	kfSpan := root.Child("keyframes")
+	kf, err := keyframe.ExtractRT(v, kfCfg, obs.Runtime{Pool: pool, Span: kfSpan})
+	kfSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: key frames: %w", err)
 	}
@@ -103,7 +126,9 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 		if step <= 0 {
 			step = detect.AutoStep(v.Len())
 		}
-		scenes, err = inpaint.ExtractScenes(v, tracks, step, cfg.Inpaint)
+		inSpan := root.Child("inpaint")
+		scenes, err = inpaint.ExtractScenesRT(v, tracks, step, cfg.Inpaint, obs.Runtime{Pool: pool, Span: inSpan})
+		inSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: background: %w", err)
 		}
@@ -112,20 +137,36 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 
 	// Phase I.
 	p1Start := time.Now()
+	p1Span := root.Child("phase1")
 	full := PresenceVectors(tracks, v.Len())
 	reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
 	if err != nil {
+		p1Span.End()
 		return nil, err
 	}
 	p1, err := RunPhase1(reduced, kf.KeyFrames, cfg.Phase1, rng)
 	if err != nil {
+		p1Span.End()
 		return nil, fmt.Errorf("core: phase 1: %w", err)
 	}
+	// Phase I counters are derived post hoc from the result — the picked
+	// key frames, and the randomized-response flips as the Hamming distance
+	// between the budgeted vectors B* and the published vectors R.
+	p1Span.Add(obs.CKeyFramesPicked, int64(len(p1.Picked)))
+	var flips int64
+	for i := range p1.Output {
+		flips += int64(ldp.Hamming(p1.Optimal[i], p1.Output[i]))
+	}
+	p1Span.Add(obs.CRRBitsFlipped, flips)
+	p1Span.End()
 	p1Time := time.Since(p1Start)
 
 	// Phase II.
 	p2Start := time.Now()
-	p2, err := RunPhase2(p1, kf, tracks, scenes, v.W, v.H, v.Len(), cfg.Phase2, rng)
+	p2Span := root.Child("phase2")
+	p2, err := RunPhase2RT(p1, kf, tracks, scenes, v.W, v.H, v.Len(), cfg.Phase2, rng,
+		obs.Runtime{Pool: pool, Span: p2Span})
+	p2Span.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}

@@ -6,7 +6,7 @@ import (
 
 	"verro/internal/geom"
 	"verro/internal/img"
-	"verro/internal/par"
+	"verro/internal/obs"
 )
 
 // BGSubtractor detects moving objects in static-camera footage by
@@ -123,8 +123,15 @@ func (b *BGSubtractor) Detect(frame *img.Image) ([]Detection, error) {
 // MedianBackground estimates a static background as the per-pixel,
 // per-channel median over the sampled frames — the classic background
 // extraction for static surveillance cameras. step subsamples frames
-// (step=1 uses all of them).
+// (step=1 uses all of them). It runs on the default worker pool, untraced;
+// pipeline code passes a scoped pool and span via MedianBackgroundRT.
 func MedianBackground(frames []*img.Image, step int) (*img.Image, error) {
+	return MedianBackgroundRT(frames, step, obs.Runtime{})
+}
+
+// MedianBackgroundRT is MedianBackground on an explicit runtime: the median
+// shards over rt.Pool and the sampled-frame count lands on rt.Span.
+func MedianBackgroundRT(frames []*img.Image, step int, rt obs.Runtime) (*img.Image, error) {
 	if len(frames) == 0 {
 		return nil, errors.New("detect: no frames for background")
 	}
@@ -142,11 +149,12 @@ func MedianBackground(frames []*img.Image, step int) (*img.Image, error) {
 	}
 	out := img.New(w, h)
 	n := len(sample)
+	rt.Span.Add(obs.CBGFramesSampled, int64(n))
 	// Each channel value is an independent median, so the pixel plane shards
 	// over the worker pool; workers read the shared frame stack and write
 	// disjoint ranges of out.Pix, keeping the result bit-identical to the
 	// serial loop at any worker count.
-	par.For(w*h*3, 4096, func(lo, hi int) {
+	rt.Pool.For(w*h*3, 4096, func(lo, hi int) {
 		vals := make([]uint8, n)
 		for idx := lo; idx < hi; idx++ {
 			for s, f := range sample {

@@ -8,6 +8,7 @@ import (
 	"verro/internal/geom"
 	"verro/internal/hog"
 	"verro/internal/img"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/svm"
@@ -29,7 +30,16 @@ type HOGSVM struct {
 	ScoreThreshold float64
 	// NMSIoU is the suppression overlap threshold.
 	NMSIoU float64
+	// RT scopes the sliding-window scan to a worker pool and reports the
+	// window-evaluation counter to a stage span. The zero value (default
+	// pool, no tracing) is fully functional.
+	RT obs.Runtime
 }
+
+// SetSpan rebinds the detector's counters to a stage span (obs.SpanSetter);
+// the tracking stage calls it so window evaluations land under the detect
+// span rather than the run root.
+func (d *HOGSVM) SetSpan(s *obs.Span) { d.RT.Span = s }
 
 // NewPedestrianDetector returns a HOG+SVM detector trained on synthetic
 // pedestrian sprites rendered by the scene package over the given
@@ -145,10 +155,11 @@ func (d *HOGSVM) Detect(frame *img.Image) ([]Detection, error) {
 		// feeding NMS is identical to the serial scan at any worker count.
 		nRows := (frame.H-wh)/stride + 1
 		type rowResult struct {
-			dets []Detection
-			err  error
+			dets  []Detection
+			evals int64
+			err   error
 		}
-		rows := par.Map(nRows, 1, func(r int) rowResult {
+		rows := par.MapPool(d.RT.Pool, nRows, 1, func(r int) rowResult {
 			y := r * stride
 			var res rowResult
 			for x := 0; x+ww <= frame.W; x += stride {
@@ -161,6 +172,7 @@ func (d *HOGSVM) Detect(frame *img.Image) ([]Detection, error) {
 					res.err = err
 					return res
 				}
+				res.evals++
 				score := d.Model.Score(feat)
 				if score >= d.ScoreThreshold {
 					res.dets = append(res.dets, Detection{Box: geom.RectAt(x, y, ww, wh), Score: score})
@@ -168,12 +180,16 @@ func (d *HOGSVM) Detect(frame *img.Image) ([]Detection, error) {
 			}
 			return res
 		})
+		var evals int64
 		for _, r := range rows {
 			if r.err != nil {
 				return nil, r.err
 			}
+			evals += r.evals
 			out = append(out, r.dets...)
 		}
+		// One Add per scale level, not per window: Add takes the span lock.
+		d.RT.Span.Add(obs.CWindowEvals, evals)
 	}
 	return NMS(out, d.NMSIoU), nil
 }

@@ -15,6 +15,7 @@ import (
 	"verro/internal/keyframe"
 	"verro/internal/ldp"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/scene"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	// of using ground-truth tracks. Slower and noisier; ground truth is
 	// the default so table shapes are attributable to VERRO itself.
 	UseTrackedObjects bool
+	// Trace, when non-nil, collects stage spans and counters across dataset
+	// loading and every sanitizer run the experiments perform. Nil disables
+	// instrumentation; tracing never perturbs seeded results.
+	Trace *obs.Trace
 }
 
 // DefaultOptions runs the full-scale datasets with 5-trial averaging.
@@ -89,6 +94,9 @@ type Dataset struct {
 	KF      *keyframe.Result
 	Reduced []ldp.BitVector
 	KFCfg   keyframe.Config
+	// Trace is propagated from Options into every SanitizerConfig built
+	// from this dataset (nil = untraced).
+	Trace *obs.Trace
 }
 
 // LoadDataset generates (or regenerates) a benchmark dataset and its
@@ -106,7 +114,7 @@ func LoadDataset(p scene.Preset, opt Options) (*Dataset, error) {
 
 	tracks := g.Truth
 	if opt.UseTrackedObjects {
-		tracked, err := trackObjects(g)
+		tracked, err := trackObjects(g, opt.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -114,7 +122,9 @@ func LoadDataset(p scene.Preset, opt Options) (*Dataset, error) {
 	}
 
 	kfCfg := KeyframeConfigFor(p)
-	kf, err := keyframe.Extract(g.Video, kfCfg)
+	kfSpan := opt.Trace.Root().Child("keyframes")
+	kf, err := keyframe.ExtractRT(g.Video, kfCfg, obs.Runtime{Span: kfSpan})
+	kfSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("exp: key frames for %s: %w", p.Name, err)
 	}
@@ -130,6 +140,7 @@ func LoadDataset(p scene.Preset, opt Options) (*Dataset, error) {
 		KF:      kf,
 		Reduced: reduced,
 		KFCfg:   kfCfg,
+		Trace:   opt.Trace,
 	}, nil
 }
 
@@ -140,6 +151,7 @@ func (d *Dataset) SanitizerConfig(f float64, seed int64, render bool) core.Confi
 	cfg.Keyframe = d.KFCfg
 	cfg.Seed = seed
 	cfg.Phase2.SkipRender = !render
+	cfg.Trace = d.Trace
 	return cfg
 }
 

@@ -9,6 +9,7 @@ import (
 	"verro/internal/geom"
 	"verro/internal/img"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/vid"
 )
 
@@ -32,6 +33,12 @@ func FrameMask(w, h, k int, tracks *motio.TrackSet) *Mask {
 // frames in which no object covers it; pixels covered in every sampled
 // frame are then filled with Criminisi inpainting.
 func StaticBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (*img.Image, error) {
+	return StaticBackgroundRT(v, tracks, step, cfg, obs.Runtime{})
+}
+
+// StaticBackgroundRT is StaticBackground on an explicit runtime: the
+// sampled-frame count lands on rt.Span and the hole fill runs via InpaintRT.
+func StaticBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config, rt obs.Runtime) (*img.Image, error) {
 	if v.Len() == 0 {
 		return nil, errors.New("inpaint: empty video")
 	}
@@ -39,6 +46,7 @@ func StaticBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config
 		step = 1
 	}
 	w, h := v.W, v.H
+	rt.Span.Add(obs.CBGFramesSampled, int64((v.Len()+step-1)/step))
 	// Per-pixel value collection (uint8 per channel) over unmasked frames.
 	vals := make([][]uint8, w*h*3)
 	for k := 0; k < v.Len(); k += step {
@@ -70,7 +78,7 @@ func StaticBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config
 		}
 	}
 	if holes > 0 {
-		filled, err := Inpaint(out, hole, cfg)
+		filled, err := InpaintRT(out, hole, cfg, rt)
 		if err != nil {
 			return nil, fmt.Errorf("inpaint: filling %d always-covered pixels: %w", holes, err)
 		}
@@ -172,6 +180,11 @@ type MovingBackground struct {
 
 // BuildMovingBackground computes the panorama background model.
 func BuildMovingBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (*MovingBackground, error) {
+	return BuildMovingBackgroundRT(v, tracks, step, cfg, obs.Runtime{})
+}
+
+// BuildMovingBackgroundRT is BuildMovingBackground on an explicit runtime.
+func BuildMovingBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config, rt obs.Runtime) (*MovingBackground, error) {
 	offsets, err := EstimatePan(v, 12)
 	if err != nil {
 		return nil, err
@@ -194,6 +207,7 @@ func BuildMovingBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg C
 	if step < 1 {
 		step = 1
 	}
+	rt.Span.Add(obs.CBGFramesSampled, int64((v.Len()+step-1)/step))
 
 	vals := make([][]uint8, panW*v.H*3)
 	for k := 0; k < v.Len(); k += step {
@@ -227,7 +241,7 @@ func BuildMovingBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg C
 		}
 	}
 	if holes > 0 && holes < panW*v.H {
-		filled, err := Inpaint(pano, hole, cfg)
+		filled, err := InpaintRT(pano, hole, cfg, rt)
 		if err != nil {
 			return nil, fmt.Errorf("inpaint: panorama holes: %w", err)
 		}
@@ -268,10 +282,16 @@ func (mb *MovingBackground) Background(k int) (*img.Image, error) {
 // model and returns a per-frame background provider. step subsamples the
 // frames feeding the temporal median.
 func ExtractScenes(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config) (Scenes, error) {
+	return ExtractScenesRT(v, tracks, step, cfg, obs.Runtime{})
+}
+
+// ExtractScenesRT is ExtractScenes on an explicit runtime: reconstruction
+// shards over rt.Pool and frame/patch counters land on rt.Span.
+func ExtractScenesRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config, rt obs.Runtime) (Scenes, error) {
 	if v.Moving {
-		return BuildMovingBackground(v, tracks, step, cfg)
+		return BuildMovingBackgroundRT(v, tracks, step, cfg, rt)
 	}
-	bg, err := StaticBackground(v, tracks, step, cfg)
+	bg, err := StaticBackgroundRT(v, tracks, step, cfg, rt)
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ import (
 
 	"verro/internal/geom"
 	"verro/internal/img"
+	"verro/internal/obs"
 	"verro/internal/par"
 )
 
@@ -114,7 +115,15 @@ var (
 // not modified. It follows Criminisi et al.: repeatedly pick the fill-front
 // patch with maximum priority (confidence × data term), copy the best
 // matching source patch over its unknown pixels, and update confidences.
+// It runs on the default worker pool, untraced; pipeline code passes a
+// scoped pool and span via InpaintRT.
 func Inpaint(src *img.Image, mask *Mask, cfg Config) (*img.Image, error) {
+	return InpaintRT(src, mask, cfg, obs.Runtime{})
+}
+
+// InpaintRT is Inpaint on an explicit runtime: the front scan and SSD
+// search shard over rt.Pool, and every filled patch counts on rt.Span.
+func InpaintRT(src *img.Image, mask *Mask, cfg Config, rt obs.Runtime) (*img.Image, error) {
 	if mask.W != src.W || mask.H != src.H {
 		return nil, fmt.Errorf("%w: %dx%d vs %dx%d", ErrMaskSize, mask.W, mask.H, src.W, src.H)
 	}
@@ -162,7 +171,7 @@ func Inpaint(src *img.Image, mask *Mask, cfg Config) (*img.Image, error) {
 		// worker pool and reduced in row order; strict > keeps the serial
 		// scan's first-maximum tie-breaking.
 		gx, gy := out.Gradients() // isophotes of current (partially filled) image
-		rowBests := par.Map(h, 8, func(y int) cand {
+		rowBests := par.MapPool(rt.Pool, h, 8, func(y int) cand {
 			best := cand{x: -1, priority: -1}
 			for x := 0; x < w; x++ {
 				if !work.At(x, y) || !onFront(work, x, y) {
@@ -188,11 +197,11 @@ func Inpaint(src *img.Image, mask *Mask, cfg Config) (*img.Image, error) {
 
 		target := geom.CenteredRect(geom.Pt(best.x, best.y), cfg.PatchSize, cfg.PatchSize).Clip(bounds)
 
-		srcPatch, ok := findSource(out, work, target, cfg.SearchRadius)
+		srcPatch, ok := findSource(out, work, target, cfg.SearchRadius, rt.Pool)
 		if !ok {
 			// Fall back to a global search once; if that fails, fill with the
 			// mean of known neighbours to guarantee progress.
-			srcPatch, ok = findSource(out, work, target, w+h)
+			srcPatch, ok = findSource(out, work, target, w+h, rt.Pool)
 		}
 		cHere := patchConfidence(conf, work, best.x, best.y, half, w, h)
 		if ok {
@@ -200,6 +209,7 @@ func Inpaint(src *img.Image, mask *Mask, cfg Config) (*img.Image, error) {
 		} else {
 			fillWithNeighbourMean(out, work, conf, target, cHere, &remaining)
 		}
+		rt.Span.Add(obs.CPatchesInpainted, 1)
 	}
 	if remaining > 0 {
 		// Last-resort sweep (tiny disconnected specks).
@@ -285,7 +295,7 @@ func b2i(b bool) int {
 
 // findSource searches for the fully known patch most similar (SSD over
 // known target pixels) to the target patch within the search radius.
-func findSource(out *img.Image, work *Mask, target geom.Rect, radius int) (geom.Rect, bool) {
+func findSource(out *img.Image, work *Mask, target geom.Rect, radius int, pool *par.Pool) (geom.Rect, bool) {
 	w, h := out.W, out.H
 	tw, th := target.Dx(), target.Dy()
 	cx, cy := target.Center().X, target.Center().Y
@@ -307,7 +317,7 @@ func findSource(out *img.Image, work *Mask, target geom.Rect, radius int) (geom.
 		rect  geom.Rect
 		found bool
 	}
-	rows := par.Map(y1-y0+1, 1, func(r int) rowBest {
+	rows := par.MapPool(pool, y1-y0+1, 1, func(r int) rowBest {
 		sy := y0 + r
 		best := rowBest{ssd: math.Inf(1)}
 		for sx := x0; sx <= x1; sx++ {

@@ -118,9 +118,10 @@ const (
 	MethodHybrid
 )
 
-// hybridCutoff is the number of control points above which MethodHybrid
-// switches from Lagrange to piecewise-linear.
-const hybridCutoff = 5
+// HybridCutoff is the number of control points above which MethodHybrid
+// switches from Lagrange to piecewise-linear. Exported so Phase II can apply
+// the same rule when it detects Runge blowup on a Lagrange trajectory.
+const HybridCutoff = 5
 
 // Eval evaluates the chosen method at frame t.
 func Eval(m Method, samples []Sample, t float64) (geom.Vec, error) {
@@ -132,7 +133,7 @@ func Eval(m Method, samples []Sample, t float64) (geom.Vec, error) {
 	case MethodNearest:
 		return Nearest(samples, t)
 	case MethodHybrid:
-		if len(samples) <= hybridCutoff {
+		if len(samples) <= HybridCutoff {
 			return Lagrange(samples, t)
 		}
 		return Linear(samples, t)

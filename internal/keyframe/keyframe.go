@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"verro/internal/img"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/vid"
 )
@@ -72,8 +73,15 @@ func (r *Result) SegmentOf(k int) int {
 // ErrEmptyVideo is returned when the video has no frames.
 var ErrEmptyVideo = errors.New("keyframe: empty video")
 
-// Extract runs Algorithm 2 over the video.
+// Extract runs Algorithm 2 over the video on the default worker pool,
+// untraced; pipeline code passes a scoped pool and span via ExtractRT.
 func Extract(v *vid.Video, cfg Config) (*Result, error) {
+	return ExtractRT(v, cfg, obs.Runtime{})
+}
+
+// ExtractRT is Extract on an explicit runtime: histogram computation shards
+// over rt.Pool, and segment/key-frame counts land on rt.Span.
+func ExtractRT(v *vid.Video, cfg Config, rt obs.Runtime) (*Result, error) {
 	if v.Len() == 0 {
 		return nil, ErrEmptyVideo
 	}
@@ -85,7 +93,7 @@ func Extract(v *vid.Video, cfg Config) (*Result, error) {
 	// the worker pool with an index-ordered gather; the greedy segmentation
 	// below stays serial because each decision depends on the running
 	// segment histogram.
-	hists := par.Map(v.Len(), 1, func(k int) *img.HSVHist {
+	hists := par.MapPool(rt.Pool, v.Len(), 1, func(k int) *img.HSVHist {
 		return img.NewHSVHist(v.Frame(k), cfg.HBins, cfg.SBins, cfg.VBins)
 	})
 
@@ -115,6 +123,8 @@ func Extract(v *vid.Video, cfg Config) (*Result, error) {
 	for _, s := range segments {
 		res.KeyFrames = append(res.KeyFrames, s.KeyFrame)
 	}
+	rt.Span.Add(obs.CSegments, int64(len(res.Segments)))
+	rt.Span.Add(obs.CKeyFrames, int64(len(res.KeyFrames)))
 	return res, nil
 }
 

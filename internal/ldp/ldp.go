@@ -23,7 +23,9 @@ func Epsilon(k int, f float64) (float64, error) {
 	if k < 0 {
 		return 0, fmt.Errorf("%w: negative dimension %d", ErrBudget, k)
 	}
-	if f <= 0 || f > 1 {
+	// NaN fails every ordered comparison, so it must be rejected explicitly:
+	// f = NaN would sail through `f <= 0 || f > 1` and poison ε.
+	if math.IsNaN(f) || f <= 0 || f > 1 {
 		return 0, fmt.Errorf("%w: flip probability %v not in (0,1]", ErrBudget, f)
 	}
 	return float64(k) * math.Log((2-f)/f), nil
@@ -35,8 +37,11 @@ func FlipProbability(k int, eps float64) (float64, error) {
 	if k <= 0 {
 		return 0, fmt.Errorf("%w: dimension %d", ErrBudget, k)
 	}
-	if eps < 0 {
-		return 0, fmt.Errorf("%w: negative epsilon %v", ErrBudget, eps)
+	// NaN epsilon would flow through exp() into f; +Inf would yield f = 0,
+	// which Equation 4 forbids (infinite per-bit budget). Both are parameter
+	// errors, not budgets.
+	if math.IsNaN(eps) || math.IsInf(eps, 1) || eps < 0 {
+		return 0, fmt.Errorf("%w: non-finite or negative epsilon %v", ErrBudget, eps)
 	}
 	return 2 / (math.Exp(eps/float64(k)) + 1), nil
 }
@@ -102,7 +107,7 @@ func Hamming(a, b BitVector) int {
 // is the naive Algorithm 1 whose poor utility motivates VERRO's dimension
 // reduction; it is kept as the experimental baseline.
 func ClassicRR(b BitVector, eps float64, rng *rand.Rand) (BitVector, error) {
-	if eps < 0 {
+	if math.IsNaN(eps) || eps < 0 {
 		return nil, fmt.Errorf("%w: negative epsilon %v", ErrBudget, eps)
 	}
 	m := len(b)
@@ -125,7 +130,7 @@ func ClassicRR(b BitVector, eps float64, rng *rand.Rand) (BitVector, error) {
 // probability 1−f the bit is kept, with probability f/2 it is forced to 1
 // and with probability f/2 forced to 0.
 func RAPPORFlip(b BitVector, f float64, rng *rand.Rand) (BitVector, error) {
-	if f < 0 || f > 1 {
+	if math.IsNaN(f) || f < 0 || f > 1 {
 		return nil, fmt.Errorf("%w: flip probability %v", ErrBudget, f)
 	}
 	out := make(BitVector, len(b))

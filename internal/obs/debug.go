@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"sync"
+
+	"verro/internal/par"
+)
+
+var debugOnce sync.Once
+
+// ServeDebug starts the opt-in diagnostics endpoint on addr in a background
+// goroutine: net/http/pprof profiles plus expvar, including a live
+// "verro.pool" variable exposing the default worker pool's dispatch and
+// busy-time gauges. It backs the CLIs' -pprof flag and is a no-op on every
+// call after the first. A listen failure is reported to stderr rather than
+// aborting the run — diagnostics must never take the pipeline down.
+func ServeDebug(addr string) {
+	debugOnce.Do(func() {
+		expvar.Publish("verro.pool", expvar.Func(func() any {
+			s := par.DefaultStats()
+			busy := make([]int64, len(s.Busy))
+			for i, d := range s.Busy {
+				busy[i] = int64(d)
+			}
+			return map[string]any{
+				"workers":       s.Workers,
+				"calls":         s.Calls,
+				"chunks":        s.Chunks,
+				"busy_ns":       busy,
+				"busy_total_ns": int64(s.BusyTotal()),
+			}
+		}))
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: debug server on %s: %v\n", addr, err)
+			}
+		}()
+	})
+}

@@ -7,9 +7,23 @@
 // invariant is what lets the seeded experiment harness keep its
 // reproducibility guarantees while the pipeline saturates the machine.
 //
-// The pool size resolves in priority order:
+// Two entry points exist:
 //
-//  1. the last SetWorkers call with n > 0 (tests, config plumbing),
+//   - the package-level For/Map, which size themselves from the process-wide
+//     setting (SetWorkers, VERRO_WORKERS, GOMAXPROCS), and
+//   - a scoped Pool handle (NewPool), which carries an explicit size through
+//     a call tree so concurrent pipeline runs with different worker budgets
+//     never touch — let alone clobber — process-global state.
+//
+// Every pool (including the implicit default one) keeps utilization
+// statistics — For calls, chunks dispatched, cumulative busy time per
+// worker slot — that the observability layer (internal/obs) samples into
+// trace reports. Recording happens once per chunk, so the bookkeeping cost
+// is invisible next to the chunk work itself.
+//
+// The process-wide pool size resolves in priority order:
+//
+//  1. the last SetWorkers call with n > 0 (tests, CLI flags),
 //  2. the VERRO_WORKERS environment variable (CI forcing serial runs),
 //  3. runtime.GOMAXPROCS(0).
 package par
@@ -20,6 +34,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // override holds the process-wide worker-count override; 0 means "auto".
@@ -33,11 +48,13 @@ func init() {
 	}
 }
 
-// SetWorkers overrides the pool size for the whole process and returns the
-// previous override so callers can restore it (0 restores automatic
-// sizing). Negative values are treated as 0. The override affects only
-// scheduling — converted loops produce identical output at any setting — so
-// concurrent callers cannot corrupt results, only each other's throughput.
+// SetWorkers overrides the process-wide pool size and returns the previous
+// override so callers can restore it (0 restores automatic sizing).
+// Negative values are treated as 0. This is process state: it is meant for
+// main() flag plumbing and test setup, NOT for scoping a worker count to
+// one library call — concurrent callers doing a swap-and-restore dance
+// clobber each other's setting and can restore the wrong value. Library
+// code that needs a per-call size should create a Pool instead.
 func SetWorkers(n int) (prev int) {
 	if n < 0 {
 		n = 0
@@ -45,7 +62,7 @@ func SetWorkers(n int) (prev int) {
 	return int(override.Swap(int64(n)))
 }
 
-// Workers reports the current pool size: the SetWorkers/VERRO_WORKERS
+// Workers reports the process-wide pool size: the SetWorkers/VERRO_WORKERS
 // override when present, otherwise runtime.GOMAXPROCS.
 func Workers() int {
 	if n := override.Load(); n > 0 {
@@ -54,31 +71,149 @@ func Workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Pool is a scoped worker-pool handle: it fixes the worker count for every
+// For/Map issued through it and accumulates utilization statistics. A nil
+// *Pool is valid and means "the process-wide default pool" — callers can
+// thread an optional pool without nil checks. Pools are safe for concurrent
+// use.
+type Pool struct {
+	// workers is the fixed size; <= 0 resolves dynamically via Workers().
+	workers int
+
+	mu     sync.Mutex
+	calls  int64
+	chunks int64
+	busy   []time.Duration
+}
+
+// defaultPool backs the package-level For/Map and any nil *Pool receiver.
+// Its size is always resolved dynamically so SetWorkers/VERRO_WORKERS keep
+// working for untraced call paths.
+var defaultPool = &Pool{}
+
+// NewPool returns a pool fixed at n workers; n <= 0 resolves the
+// process-wide setting at each call, so NewPool(0) is a stats-isolated
+// handle with default sizing.
+func NewPool(n int) *Pool {
+	if n < 0 {
+		n = 0
+	}
+	return &Pool{workers: n}
+}
+
+// Workers reports the pool's worker count (the process-wide setting for
+// nil or auto-sized pools).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return Workers()
+	}
+	return p.workers
+}
+
+// Stats is a snapshot of a pool's lifetime utilization counters.
+type Stats struct {
+	// Workers is the pool size at snapshot time.
+	Workers int
+	// Calls counts For/Map invocations (including serial fast paths).
+	Calls int64
+	// Chunks counts dispatched chunks; empty chunks are never dispatched.
+	Chunks int64
+	// Busy is the cumulative time each worker slot spent inside fn. Slot 0
+	// also accumulates the serial fast path.
+	Busy []time.Duration
+}
+
+// BusyTotal sums the per-worker busy time.
+func (s Stats) BusyTotal() time.Duration {
+	var t time.Duration
+	for _, d := range s.Busy {
+		t += d
+	}
+	return t
+}
+
+// Stats snapshots the pool's utilization counters (the default pool's for a
+// nil receiver).
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		p = defaultPool
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Workers: p.Workers(),
+		Calls:   p.calls,
+		Chunks:  p.chunks,
+		Busy:    append([]time.Duration(nil), p.busy...),
+	}
+}
+
+// DefaultStats snapshots the default pool (the one behind the package-level
+// For/Map) — exported so CLIs can surface it via expvar.
+func DefaultStats() Stats { return defaultPool.Stats() }
+
+// record accumulates one executed chunk on worker slot w.
+func (p *Pool) record(w int, d time.Duration) {
+	p.mu.Lock()
+	p.chunks++
+	for w >= len(p.busy) {
+		p.busy = append(p.busy, 0)
+	}
+	p.busy[w] += d
+	p.mu.Unlock()
+}
+
+func (p *Pool) addCall() {
+	p.mu.Lock()
+	p.calls++
+	p.mu.Unlock()
+}
+
 // For runs fn over [0, n) split into contiguous chunks of at least grain
 // indices, at most one chunk in flight per worker. fn(lo, hi) must touch
 // only state derivable from its index range (shared inputs read-only,
 // outputs disjoint per index); under that contract the aggregate effect is
-// identical to fn(0, n). grain < 1 is treated as 1. A panic inside fn is
+// identical to fn(0, n). grain < 1 is treated as 1. Every dispatched chunk
+// is non-empty: lo < hi <= n always holds inside fn. A panic inside fn is
 // re-raised on the caller; when several chunks panic, the one covering the
 // lowest index range wins, so failures are deterministic too.
-func For(n, grain int, fn func(lo, hi int)) {
+func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
+	if p == nil {
+		p = defaultPool
+	}
 	if n <= 0 {
 		return
 	}
+	p.addCall()
 	if grain < 1 {
 		grain = 1
 	}
 	chunks := (n + grain - 1) / grain
-	workers := Workers()
+	workers := p.Workers()
 	if chunks > workers {
 		chunks = workers
 	}
-	if chunks <= 1 {
-		fn(0, n)
-		return
+	if chunks > 1 {
+		// Recompute the chunk count from the final chunk size: with
+		// size = ceil(n/chunks), the first ceil(n/size) chunks already cover
+		// [0, n), and any trailing chunk would start at lo >= n (e.g. n=10
+		// over 8 workers gives size=2 and only 5 real chunks). Dispatching
+		// those empty chunks used to call fn with an inverted range.
+		size := (n + chunks - 1) / chunks
+		chunks = (n + size - 1) / size
+		if chunks > 1 {
+			p.forChunks(n, size, chunks, fn)
+			return
+		}
 	}
-	size := (n + chunks - 1) / chunks
+	start := time.Now()
+	fn(0, n)
+	p.record(0, time.Since(start))
+}
 
+// forChunks dispatches chunks [c*size, min((c+1)*size, n)) for c in
+// [0, chunks) over chunks goroutines.
+func (p *Pool) forChunks(n, size, chunks int, fn func(lo, hi int)) {
 	type failure struct {
 		chunk int
 		value any
@@ -89,7 +224,7 @@ func For(n, grain int, fn func(lo, hi int)) {
 		mu    sync.Mutex
 		first *failure
 	)
-	run := func(c int) {
+	run := func(w, c int) {
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
@@ -104,20 +239,22 @@ func For(n, grain int, fn func(lo, hi int)) {
 		if hi > n {
 			hi = n
 		}
+		start := time.Now()
 		fn(lo, hi)
+		p.record(w, time.Since(start))
 	}
 	wg.Add(chunks)
 	for w := 0; w < chunks; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= chunks {
 					return
 				}
-				run(c)
+				run(w, c)
 			}
-		}()
+		}(w)
 	}
 	// The chunk-claim counter hands each goroutine exactly one chunk here
 	// (chunks == goroutines), but the loop shape keeps the scheduler honest
@@ -128,15 +265,26 @@ func For(n, grain int, fn func(lo, hi int)) {
 	}
 }
 
-// Map computes out[i] = fn(i) for i in [0, n) with the same sharding and
-// determinism contract as For: fn must be pure with respect to shared state,
-// and the gathered slice is index-ordered regardless of scheduling.
-func Map[T any](n, grain int, fn func(i int) T) []T {
+// For runs fn on the default pool; see (*Pool).For.
+func For(n, grain int, fn func(lo, hi int)) {
+	defaultPool.For(n, grain, fn)
+}
+
+// MapPool computes out[i] = fn(i) for i in [0, n) on pool p (nil = default
+// pool) with the same sharding and determinism contract as For: fn must be
+// pure with respect to shared state, and the gathered slice is
+// index-ordered regardless of scheduling.
+func MapPool[T any](p *Pool, n, grain int, fn func(i int) T) []T {
 	out := make([]T, n)
-	For(n, grain, func(lo, hi int) {
+	p.For(n, grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = fn(i)
 		}
 	})
 	return out
+}
+
+// Map runs MapPool on the default pool.
+func Map[T any](n, grain int, fn func(i int) T) []T {
+	return MapPool[T](nil, n, grain, fn)
 }

@@ -2,6 +2,7 @@ package par
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -59,6 +60,153 @@ func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestForNeverDispatchesEmptyChunks is the regression test for the
+// trailing-chunk bug: size = ceil(n/chunks) is computed after clamping
+// chunks to the worker count, so combinations like n=10, grain=1, workers=8
+// (size=2, only 5 real chunks) used to dispatch fn(10, 10) and even
+// fn(14, 10). Sweep small n × worker × grain combinations and require every
+// chunk to be non-empty, in-range, and to cover each index exactly once.
+func TestForNeverDispatchesEmptyChunks(t *testing.T) {
+	for workers := 1; workers <= 12; workers++ {
+		for n := 1; n <= 40; n++ {
+			for grain := 1; grain <= 3; grain++ {
+				withWorkers(t, workers, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo >= hi {
+							t.Errorf("workers=%d n=%d grain=%d: empty chunk [%d,%d) dispatched",
+								workers, n, grain, lo, hi)
+							return
+						}
+						if lo < 0 || hi > n {
+							t.Errorf("workers=%d n=%d grain=%d: out-of-range chunk [%d,%d)",
+								workers, n, grain, lo, hi)
+							return
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times",
+								workers, n, grain, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestPoolScopedWorkers(t *testing.T) {
+	// A fixed-size pool must ignore the process-wide override entirely.
+	withWorkers(t, 3, func() {
+		p := NewPool(8)
+		if p.Workers() != 8 {
+			t.Fatalf("fixed pool Workers() = %d, want 8", p.Workers())
+		}
+		if Workers() != 3 {
+			t.Fatalf("global Workers() = %d, want 3", Workers())
+		}
+		// Auto pools and nil pools resolve the process-wide setting.
+		if NewPool(0).Workers() != 3 {
+			t.Fatalf("auto pool Workers() = %d, want 3", NewPool(0).Workers())
+		}
+		if (*Pool)(nil).Workers() != 3 {
+			t.Fatalf("nil pool Workers() = %d, want 3", (*Pool)(nil).Workers())
+		}
+	})
+}
+
+func TestPoolForMatchesSerial(t *testing.T) {
+	fn := func(i int) int { return 7*i + 1 }
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = fn(i)
+	}
+	for _, n := range []int{1, 2, 4, 16} {
+		p := NewPool(n)
+		got := MapPool(p, len(want), 1, fn)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pool(%d): Map[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentPools proves the reentrancy fix: pools with different sizes
+// running concurrently neither interfere with each other nor disturb the
+// process-wide setting (the old defer SetWorkers(SetWorkers(n)) dance could
+// restore the wrong global when calls overlapped).
+func TestConcurrentPools(t *testing.T) {
+	withWorkers(t, 5, func() {
+		var wg sync.WaitGroup
+		for _, size := range []int{1, 2, 8, 16} {
+			wg.Add(1)
+			go func(size int) {
+				defer wg.Done()
+				p := NewPool(size)
+				for rep := 0; rep < 20; rep++ {
+					var sum atomic.Int64
+					p.For(500, 1, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							sum.Add(int64(i))
+						}
+					})
+					if sum.Load() != 500*499/2 {
+						t.Errorf("pool(%d): sum = %d", size, sum.Load())
+						return
+					}
+					if p.Workers() != size {
+						t.Errorf("pool(%d): Workers() drifted to %d", size, p.Workers())
+						return
+					}
+				}
+			}(size)
+		}
+		wg.Wait()
+		if Workers() != 5 {
+			t.Fatalf("global Workers() = %d after concurrent pools, want 5", Workers())
+		}
+	})
+}
+
+func TestPoolStats(t *testing.T) {
+	p := NewPool(4)
+	p.For(100, 1, func(lo, hi int) {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i
+		}
+		_ = s
+	})
+	p.For(1, 1, func(lo, hi int) {}) // serial fast path
+	st := p.Stats()
+	if st.Workers != 4 {
+		t.Errorf("Stats.Workers = %d, want 4", st.Workers)
+	}
+	if st.Calls != 2 {
+		t.Errorf("Stats.Calls = %d, want 2", st.Calls)
+	}
+	// 4 parallel chunks + 1 serial chunk.
+	if st.Chunks != 5 {
+		t.Errorf("Stats.Chunks = %d, want 5", st.Chunks)
+	}
+	if len(st.Busy) == 0 || len(st.Busy) > 4 {
+		t.Errorf("Stats.Busy has %d slots, want 1..4", len(st.Busy))
+	}
+	if st.BusyTotal() < 0 {
+		t.Errorf("BusyTotal = %v", st.BusyTotal())
+	}
+	// n <= 0 must not count as a call.
+	p.For(0, 1, func(lo, hi int) { t.Error("fn called for n=0") })
+	if got := p.Stats().Calls; got != 2 {
+		t.Errorf("Calls after For(0) = %d, want 2", got)
 	}
 }
 

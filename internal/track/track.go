@@ -16,6 +16,7 @@ import (
 	"verro/internal/img"
 	"verro/internal/kalman"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/par"
 )
 
@@ -235,14 +236,36 @@ func (t *Tracker) Tracks() *motio.TrackSet {
 // implementations must tolerate concurrent Detect calls (both built-in
 // detectors are pure readers of their model state).
 func Run(frames []*img.Image, det detect.Detector, cfg Config) (*motio.TrackSet, error) {
+	return RunRT(frames, det, cfg, obs.Runtime{})
+}
+
+// RunRT is Run on an explicit runtime: detection shards over rt.Pool under a
+// "detect" child span and the serial association pass runs under a "track"
+// child span. Detectors that implement obs.SpanSetter (the HOG+SVM detector
+// does) are rebound to the detect span so their internal counters nest there.
+func RunRT(frames []*img.Image, det detect.Detector, cfg Config, rt obs.Runtime) (*motio.TrackSet, error) {
 	type detResult struct {
 		dets []detect.Detection
 		err  error
 	}
-	results := par.Map(len(frames), 1, func(i int) detResult {
+	dspan := rt.Span.Child("detect")
+	if s, ok := det.(obs.SpanSetter); ok {
+		s.SetSpan(dspan)
+	}
+	results := par.MapPool(rt.Pool, len(frames), 1, func(i int) detResult {
 		ds, err := det.Detect(frames[i])
 		return detResult{dets: ds, err: err}
 	})
+	dspan.Add(obs.CFramesDetected, int64(len(frames)))
+	var nDets int64
+	for _, r := range results {
+		nDets += int64(len(r.dets))
+	}
+	dspan.Add(obs.CDetections, nDets)
+	dspan.End()
+
+	tspan := rt.Span.Child("track")
+	defer tspan.End()
 	tr := New(cfg)
 	for i, f := range frames {
 		if results[i].err != nil {
@@ -252,5 +275,8 @@ func Run(frames []*img.Image, det detect.Detector, cfg Config) (*motio.TrackSet,
 			return nil, err
 		}
 	}
-	return tr.Tracks(), nil
+	set := tr.Tracks()
+	tspan.Add(obs.CFramesTracked, int64(len(frames)))
+	tspan.Add(obs.CTracksConfirmed, int64(len(set.Tracks)))
+	return set, nil
 }

@@ -11,6 +11,7 @@ package verro
 import (
 	"bytes"
 	"reflect"
+	"sync"
 	"testing"
 
 	"verro/internal/detect"
@@ -116,6 +117,134 @@ func TestParallelEquivalence(t *testing.T) {
 			withWorkersT(t, 8, func() { parallel = runPipeline(t, name) })
 			compareArtifacts(t, serial, parallel)
 		})
+	}
+}
+
+// runPipelineWith executes the same pipeline as runPipeline but with the
+// worker count scoped to the calls (cfg.Workers, not the global setting)
+// and an optional trace attached.
+func runPipelineWith(t *testing.T, name string, workers int, trace *Trace) pipelineArtifacts {
+	t.Helper()
+	preset, err := BenchmarkPreset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(equivScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultPipelineConfig()
+	pcfg.Workers = workers
+	pcfg.Trace = trace
+	tracks, err := DetectAndTrack(g.Video, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Workers = workers
+	cfg.Trace = trace
+	res, err := Sanitize(g.Video, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var presence [][]bool
+	for _, v := range res.Phase1.Output {
+		presence = append(presence, []bool(v))
+	}
+	var buf bytes.Buffer
+	if _, err := vid.Encode(&buf, res.Synthetic); err != nil {
+		t.Fatal(err)
+	}
+	return pipelineArtifacts{
+		tracks:    tracks,
+		presence:  presence,
+		synTracks: res.SyntheticTracks,
+		synFrames: res.Synthetic.Frames,
+		encoded:   buf.Bytes(),
+	}
+}
+
+// TestTraceEquivalence proves instrumentation is observational only: the
+// seeded pipeline produces byte-identical artifacts with tracing off and
+// with tracing on, at one worker and at eight — and the traced runs really
+// did collect spans.
+func TestTraceEquivalence(t *testing.T) {
+	off := runPipelineWith(t, "MOT01", 1, nil)
+	for _, workers := range []int{1, 8} {
+		trace := NewTrace("equiv")
+		on := runPipelineWith(t, "MOT01", workers, trace)
+		compareArtifacts(t, off, on)
+		rep := trace.Report()
+		if rep.Span == nil || len(rep.Span.Children) == 0 {
+			t.Fatalf("workers=%d: traced run collected no spans", workers)
+		}
+		if rep.Pool == nil || rep.Pool.ChunksDispatched == 0 {
+			t.Fatalf("workers=%d: traced run collected no pool gauges", workers)
+		}
+	}
+}
+
+// TestConcurrentSanitizeScopedWorkers is the regression test for the old
+// `defer par.SetWorkers(par.SetWorkers(cfg.Workers))` save/restore, which
+// was non-reentrant: two concurrent Sanitize calls with different Workers
+// raced on the global and could leave it permanently wrong. With scoped
+// pools the global must survive untouched and both outputs must stay
+// bit-identical to a serial reference.
+func TestConcurrentSanitizeScopedWorkers(t *testing.T) {
+	preset, err := BenchmarkPreset("MOT01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := DetectAndTrack(g.Video, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		cfg := DefaultConfig()
+		cfg.Seed = 7
+		cfg.Workers = workers
+		res, err := Sanitize(g.Video, tracks, cfg)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		var buf bytes.Buffer
+		if _, err := vid.Encode(&buf, res.Synthetic); err != nil {
+			t.Error(err)
+			return nil
+		}
+		return buf.Bytes()
+	}
+	want := run(0)
+
+	const sentinel = 3
+	prev := par.SetWorkers(sentinel)
+	defer par.SetWorkers(prev)
+
+	workerMix := []int{1, 8, 2, 5}
+	got := make([][]byte, len(workerMix))
+	var wg sync.WaitGroup
+	for i, w := range workerMix {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			got[i] = run(w)
+		}(i, w)
+	}
+	wg.Wait()
+
+	if par.Workers() != sentinel {
+		t.Fatalf("global worker count = %d after concurrent runs, want %d", par.Workers(), sentinel)
+	}
+	for i, g := range got {
+		if !bytes.Equal(g, want) {
+			t.Errorf("concurrent run %d (workers=%d) output differs from reference", i, workerMix[i])
+		}
 	}
 }
 

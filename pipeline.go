@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"verro/internal/detect"
+	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/scene"
 	"verro/internal/track"
@@ -26,8 +27,14 @@ type PipelineConfig struct {
 	Seed int64
 	// Workers overrides the worker-pool size for this call (0 keeps the
 	// process-wide setting: VERRO_WORKERS or GOMAXPROCS). The output is
-	// bit-identical at any worker count; only wall-clock time changes.
+	// bit-identical at any worker count; only wall-clock time changes. The
+	// override is scoped to this call's pool — concurrent DetectAndTrack
+	// calls with different Workers never interfere.
 	Workers int
+	// Trace, when non-nil, collects detection/tracking stage spans, counters
+	// and worker-pool gauges. Nil disables all instrumentation at zero cost;
+	// tracing never perturbs the output.
+	Trace *Trace
 }
 
 // DetectorKind selects a detection algorithm.
@@ -59,9 +66,12 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 	if v == nil || v.Len() == 0 {
 		return nil, fmt.Errorf("verro: empty video")
 	}
-	if cfg.Workers > 0 {
-		defer par.SetWorkers(par.SetWorkers(cfg.Workers))
-	}
+	// A scoped pool (not the former global SetWorkers save/restore, which was
+	// non-reentrant) so concurrent calls with different Workers each get
+	// their own size. Workers <= 0 falls through to the process default.
+	pool := par.NewPool(cfg.Workers)
+	cfg.Trace.AttachPool(pool)
+	root := cfg.Trace.Root()
 	var det detect.Detector
 	switch cfg.Detector {
 	case DetectorHOGSVM:
@@ -69,13 +79,16 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verro: build detector: %w", err)
 		}
+		d.RT = obs.Runtime{Pool: pool}
 		det = d
 	case DetectorBackgroundSub:
 		step := cfg.BackgroundStep
 		if step <= 0 {
 			step = detect.AutoStep(v.Len())
 		}
-		bg, err := detect.MedianBackground(v.Frames, step)
+		bgSpan := root.Child("background")
+		bg, err := detect.MedianBackgroundRT(v.Frames, step, obs.Runtime{Pool: pool, Span: bgSpan})
+		bgSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("verro: background model: %w", err)
 		}
@@ -83,7 +96,7 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 	default:
 		return nil, fmt.Errorf("verro: unknown detector %d", cfg.Detector)
 	}
-	tracks, err := track.Run(v.Frames, det, cfg.Tracker)
+	tracks, err := track.RunRT(v.Frames, det, cfg.Tracker, obs.Runtime{Pool: pool, Span: root})
 	if err != nil {
 		return nil, fmt.Errorf("verro: tracking: %w", err)
 	}

@@ -29,6 +29,7 @@ import (
 	"verro/internal/ldp"
 	"verro/internal/metrics"
 	"verro/internal/motio"
+	"verro/internal/obs"
 	"verro/internal/scene"
 	"verro/internal/vid"
 )
@@ -61,6 +62,21 @@ type (
 	// InpaintConfig tunes the Criminisi background filler.
 	InpaintConfig = inpaint.Config
 )
+
+// Observability: a Trace collects a span per pipeline stage plus monotonic
+// stage counters and worker-pool gauges. Attach one via Config.Trace or
+// PipelineConfig.Trace; a nil Trace disables all instrumentation at zero
+// cost, and tracing never perturbs seeded outputs.
+type (
+	// Trace is one run's span tree, counters and pool gauges.
+	Trace = obs.Trace
+	// TraceReport is the machine-readable run report a finished Trace
+	// serializes to (the -trace out.json schema; see DESIGN.md).
+	TraceReport = obs.Report
+)
+
+// NewTrace starts a trace whose root span carries the given name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
 // Benchmark dataset generation (the MOT16 stand-ins).
 type (

@@ -3,16 +3,27 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-json clean
+.PHONY: check vet build lint fmt-check test race fuzz bench bench-json clean
 
-## check: the CI gate — vet, build, race-enabled tests, and a short fuzz pass.
-check: vet build race fuzz
+## check: the CI gate — vet, build, verrolint, gofmt, race-enabled tests, and
+## a short fuzz pass. Fails on any lint diagnostic or unformatted file.
+check: vet build lint fmt-check race fuzz
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+## lint: the in-repo static-analysis suite (cmd/verrolint) — determinism,
+## privacy-math and panic-freedom invariants. See DESIGN.md §2d.
+lint:
+	$(GO) run ./cmd/verrolint ./...
+
+## fmt-check: fail if any tracked Go file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...

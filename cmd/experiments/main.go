@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"verro/internal/exp"
@@ -113,7 +114,11 @@ func runAll(which, videos, out, htmlPath string, opt exp.Options) error {
 			rep.Fig5[d.Preset.Name] = points
 			if out != "" {
 				path := filepath.Join(out, fmt.Sprintf("fig5-%s.csv", d.Preset.Name))
-				if err := exp.Fig5Table(points).SaveCSV(path); err != nil {
+				tab, err := exp.Fig5Table(points)
+				if err != nil {
+					return err
+				}
+				if err := tab.SaveCSV(path); err != nil {
 					return err
 				}
 				fmt.Println("  wrote", path)
@@ -200,7 +205,13 @@ func runAll(which, videos, out, htmlPath string, opt exp.Options) error {
 				return err
 			}
 			fmt.Printf("Figures 9-11 (%s): frame %d\n", d.Preset.Name, frame)
-			for tag, path := range files {
+			tags := make([]string, 0, len(files))
+			for tag := range files {
+				tags = append(tags, tag)
+			}
+			sort.Strings(tags)
+			for _, tag := range tags {
+				path := files[tag]
 				fmt.Printf("  %-18s %s\n", tag, path)
 				rep.Frames[fmt.Sprintf("%s %s (frame %d)", d.Preset.Name, tag, frame)] = path
 			}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"verro"
 	"verro/internal/obs"
@@ -144,7 +145,13 @@ func run(opt options) error {
 		}
 		synthetic = res.Synthetic
 		synthTracks = res.SyntheticTracks
-		for name, p1 := range res.PerClass {
+		classes := make([]string, 0, len(res.PerClass))
+		for name := range res.PerClass {
+			classes = append(classes, name)
+		}
+		sort.Strings(classes)
+		for _, name := range classes {
+			p1 := res.PerClass[name]
 			fmt.Printf("class %-11s eps=%.3f over %d picked key frames\n", name, p1.Epsilon, len(p1.Picked))
 		}
 	} else {

@@ -1,0 +1,172 @@
+// Command verrolint runs VERRO's static-analysis suite (internal/lint) over
+// the repository: five analyzers that mechanically enforce the project's
+// determinism, privacy-math, and error-handling invariants at make-check
+// time instead of after an equivalence test catches a violation.
+//
+// Usage:
+//
+//	verrolint [-json] [-tests] [-list] [pattern ...]
+//
+// Patterns are package directories; a trailing "/..." walks recursively
+// ("./..." is the default). Exit status is 0 when clean, 1 when any
+// diagnostic fired, 2 on load or usage errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"verro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiag is the -json wire form of one diagnostic, the stable shape CI
+// can diff across PRs.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("verrolint", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	jsonOut := fl.Bool("json", false, "emit diagnostics as a JSON array (file, line, col, analyzer, message)")
+	tests := fl.Bool("tests", false, "also lint _test.go files")
+	list := fl.Bool("list", false, "list the analyzers and their invariants, then exit")
+	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.ProjectAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fl.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	for _, p := range patterns {
+		expanded, err := expand(p, *tests)
+		if err != nil {
+			fmt.Fprintf(stderr, "verrolint: %v\n", err)
+			return 2
+		}
+		dirs = append(dirs, expanded...)
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "verrolint: no packages matched")
+		return 2
+	}
+
+	loader := lint.NewLoader()
+	loader.IncludeTests = *tests
+	var diags []lint.Diagnostic
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "verrolint: %v\n", err)
+			return 2
+		}
+		diags = append(diags, lint.Run(pkg, analyzers...)...)
+	}
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     filepath.ToSlash(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "verrolint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "verrolint: %d diagnostic(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// expand resolves one pattern to package directories. "dir/..." walks dir
+// recursively; anything else names a single directory. Walks skip testdata
+// (lint fixtures deliberately violate the invariants), hidden directories,
+// and directories with no Go files.
+func expand(pattern string, includeTests bool) ([]string, error) {
+	root, recursive := strings.CutSuffix(pattern, "...")
+	if recursive {
+		root = strings.TrimSuffix(root, "/")
+	}
+	if root == "" {
+		root = "."
+	}
+	if !recursive {
+		return []string{root}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path, includeTests) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string, includeTests bool) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		return true
+	}
+	return false
+}

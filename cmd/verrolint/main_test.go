@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const dirtySrc = `package dirty
+
+import "math/rand"
+
+func Draw() int {
+	return rand.Intn(6)
+}
+`
+
+const cleanSrc = `package clean
+
+import "math/rand"
+
+func Draw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+`
+
+func TestRunCleanDir(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module tmpmod\n", "clean.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{root}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr = %s, stdout = %s", code, errb.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run should print nothing, got %q", out.String())
+	}
+}
+
+func TestRunDirtyDirTextMode(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module tmpmod\n", "dirty.go": dirtySrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{root}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "dirty.go:6:9:") || !strings.Contains(out.String(), "(detrand)") {
+		t.Fatalf("diagnostic line missing position or analyzer: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 diagnostic(s)") {
+		t.Fatalf("summary missing: %q", errb.String())
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	root := writeTree(t, map[string]string{"go.mod": "module tmpmod\n", "dirty.go": dirtySrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", root}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr %s)", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %+v, want exactly 1", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "detrand" || d.Line != 6 || d.Col != 9 || !strings.HasSuffix(d.File, "dirty.go") {
+		t.Fatalf("diag = %+v", d)
+	}
+	if !strings.Contains(d.Message, "math/rand.Intn") {
+		t.Fatalf("message = %q", d.Message)
+	}
+}
+
+func TestRunRecursiveSkipsTestdata(t *testing.T) {
+	// The violation sits under testdata/, which a "..." walk must skip —
+	// lint fixtures violate the invariants on purpose.
+	root := writeTree(t, map[string]string{
+		"go.mod":                "module tmpmod\n",
+		"clean.go":              cleanSrc,
+		"sub/testdata/dirty.go": dirtySrc,
+		"sub/clean.go":          strings.Replace(cleanSrc, "package clean", "package sub", 1),
+		".hidden/dirty.go":      dirtySrc,
+		"_underscore/dirty.go":  dirtySrc,
+	})
+	var out, errb bytes.Buffer
+	if code := run([]string{filepath.Join(root, "...")}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stdout %q stderr %q", code, out.String(), errb.String())
+	}
+}
+
+func TestRunJSONEmptyArray(t *testing.T) {
+	// A clean -json run must still emit a valid (empty) array so CI can
+	// diff findings across PRs without special-casing.
+	root := writeTree(t, map[string]string{"go.mod": "module tmpmod\n", "clean.go": cleanSrc})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", root}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr %s", code, errb.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	if diags == nil || len(diags) != 0 {
+		t.Fatalf("want empty non-null array, got %q", out.String())
+	}
+}
+
+func TestRunListMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	for _, name := range []string{"detrand", "walltime", "maporder", "floateq", "panicfree"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list output missing %s: %q", name, out.String())
+		}
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{filepath.Join(t.TempDir(), "nope")}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

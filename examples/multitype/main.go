@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"verro"
 	"verro/internal/scene"
@@ -40,7 +41,13 @@ func main() {
 
 	fmt.Printf("input: %v\n", g.Video)
 	fmt.Printf("classes sanitized independently:\n")
-	for name, p1 := range res.PerClass {
+	classes := make([]string, 0, len(res.PerClass))
+	for name := range res.PerClass {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		p1 := res.PerClass[name]
 		fmt.Printf("  %-11s ε=%.1f over %d picked key frames\n",
 			name, p1.Epsilon, len(p1.Picked))
 	}

@@ -78,7 +78,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	}
 
 	// Shared preprocessing (key frames and backgrounds are class-agnostic).
-	preStart := time.Now()
+	preStart := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	kfCfg := cfg.Keyframe
 	if kfCfg.MaxSegmentLen == 0 {
 		kfCfg.MaxSegmentLen = v.Len() / 20
@@ -107,7 +107,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	if err != nil {
 		return nil, err
 	}
-	preTime := time.Since(preStart)
+	preTime := time.Since(preStart) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	res := &MultiTypeResult{
 		PerClass:       map[string]*Phase1Result{},
@@ -122,7 +122,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	}
 	var outs []classOut
 	idOffset := 0
-	p1Start := time.Now()
+	p1Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	p1Span := root.Child("phase1")
 	p2Span := root.Child("phase2")
 	for _, name := range classNames {
@@ -163,11 +163,11 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 		outs = append(outs, classOut{name: name, p2: p2})
 	}
 	p1Span.End()
-	res.Phase1Time = time.Since(p1Start)
+	res.Phase1Time = time.Since(p1Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	// Joint rendering: composite every class's synthetic tracks over the
 	// shared backgrounds, farther (smaller y) objects first.
-	p2Start := time.Now()
+	p2Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	merged := motio.NewTrackSet()
 	out := vid.New(v.Name+"-verro", v.W, v.H, v.FPS)
 	out.Moving = v.Moving
@@ -212,7 +212,7 @@ func SanitizeMultiType(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Multi
 	}
 	merged.Sort()
 	p2Span.End()
-	res.Phase2Time = time.Since(p2Start)
+	res.Phase2Time = time.Since(p2Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	res.Synthetic = out
 	res.SyntheticTracks = merged
 	return res, nil

@@ -103,7 +103,7 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	// static scenes still produce enough key frames for the optimizer and
 	// the Phase II interpolation (pure Algorithm 2 would otherwise collapse
 	// a static video into a single segment). Negative disables the cap.
-	preStart := time.Now()
+	preStart := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	kfCfg := cfg.Keyframe
 	switch {
 	case kfCfg.MaxSegmentLen == 0:
@@ -133,10 +133,10 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 			return nil, fmt.Errorf("core: background: %w", err)
 		}
 	}
-	preTime := time.Since(preStart)
+	preTime := time.Since(preStart) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	// Phase I.
-	p1Start := time.Now()
+	p1Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	p1Span := root.Child("phase1")
 	full := PresenceVectors(tracks, v.Len())
 	reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
@@ -159,10 +159,10 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	}
 	p1Span.Add(obs.CRRBitsFlipped, flips)
 	p1Span.End()
-	p1Time := time.Since(p1Start)
+	p1Time := time.Since(p1Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	// Phase II.
-	p2Start := time.Now()
+	p2Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 	p2Span := root.Child("phase2")
 	p2, err := RunPhase2RT(p1, kf, tracks, scenes, v.W, v.H, v.Len(), cfg.Phase2, rng,
 		obs.Runtime{Pool: pool, Span: p2Span})
@@ -170,7 +170,7 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
-	p2Time := time.Since(p2Start)
+	p2Time := time.Since(p2Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	if p2.Video != nil {
 		p2.Video.Name = v.Name + "-verro"

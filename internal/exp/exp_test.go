@@ -128,7 +128,10 @@ func TestFig5ShapesMatchPaper(t *testing.T) {
 			t.Fatalf("before-Phase-II deviation should be high: %+v", p)
 		}
 	}
-	tab := Fig5Table(points)
+	tab, err := Fig5Table(points)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Cols) != 5 {
 		t.Fatalf("fig5 table cols = %d", len(tab.Cols))
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"path/filepath"
+	"sort"
 
 	"verro/internal/core"
 	"verro/internal/inpaint"
@@ -70,7 +71,7 @@ func Fig5(d *Dataset, fs []float64, trials int, seed int64) ([]Fig5Point, error)
 }
 
 // Fig5Table converts Fig5 points into the CSV series layout.
-func Fig5Table(points []Fig5Point) *motio.SeriesTable {
+func Fig5Table(points []Fig5Point) (*motio.SeriesTable, error) {
 	x := make([]float64, len(points))
 	orig := make([]float64, len(points))
 	opt := make([]float64, len(points))
@@ -82,12 +83,22 @@ func Fig5Table(points []Fig5Point) *motio.SeriesTable {
 			p.F, p.Original, p.Opt, p.RR, p.DevBefore, p.DevAfter
 	}
 	t := motio.NewSeriesTable("f", x)
-	t.MustAddColumn("original", orig)
-	t.MustAddColumn("opt", opt)
-	t.MustAddColumn("rr", rr)
-	t.MustAddColumn("dev_before_phase2", devB)
-	t.MustAddColumn("dev_after_phase2", devA)
-	return t
+	cols := []struct {
+		name    string
+		samples []float64
+	}{
+		{"original", orig},
+		{"opt", opt},
+		{"rr", rr},
+		{"dev_before_phase2", devB},
+		{"dev_after_phase2", devA},
+	}
+	for _, c := range cols {
+		if err := t.AddColumn(c.name, c.samples); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // PrintFig5 renders the sweep as text.
@@ -177,8 +188,12 @@ func (fig *TrajectoryFig) SaveCSVs(dir string) error {
 			x[i], xs[i], ys[i] = s[0], s[1], s[2]
 		}
 		t := motio.NewSeriesTable("frame", x)
-		t.MustAddColumn("x", xs)
-		t.MustAddColumn("y", ys)
+		if err := t.AddColumn("x", xs); err != nil {
+			return err
+		}
+		if err := t.AddColumn("y", ys); err != nil {
+			return err
+		}
 		path := filepath.Join(dir, fmt.Sprintf("%s-%s.csv", fig.Video, name))
 		if err := t.SaveCSV(path); err != nil {
 			return err
@@ -187,11 +202,17 @@ func (fig *TrajectoryFig) SaveCSVs(dir string) error {
 	return nil
 }
 
-// PrintTrajectorySummary lists the extracted series and their lengths.
+// PrintTrajectorySummary lists the extracted series and their lengths in
+// sorted order, so the report is byte-identical across runs.
 func PrintTrajectorySummary(w io.Writer, fig *TrajectoryFig) {
 	fmt.Fprintf(w, "Figures 6-8 (%s): trajectories of objects %v\n", fig.Video, fig.Objects)
-	for name, s := range fig.Series {
-		fmt.Fprintf(w, "  %-22s %4d points\n", name, len(s))
+	names := make([]string, 0, len(fig.Series))
+	for name := range fig.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-22s %4d points\n", name, len(fig.Series[name]))
 	}
 }
 
@@ -273,7 +294,9 @@ func Fig12(d *Dataset, fs []float64, seed int64) (*motio.SeriesTable, error) {
 	if origCounts == nil {
 		origCounts = make([]int, ell)
 	}
-	t.MustAddColumn("original", motio.IntsToFloats(origCounts))
+	if err := t.AddColumn("original", motio.IntsToFloats(origCounts)); err != nil {
+		return nil, err
+	}
 	for _, f := range fs {
 		p1, err := d.phase1(f, true, rng)
 		if err != nil {
@@ -283,7 +306,9 @@ func Fig12(d *Dataset, fs []float64, seed int64) (*motio.SeriesTable, error) {
 		if counts == nil {
 			counts = make([]int, ell)
 		}
-		t.MustAddColumn(fmt.Sprintf("f=%.1f", f), motio.IntsToFloats(counts))
+		if err := t.AddColumn(fmt.Sprintf("f=%.1f", f), motio.IntsToFloats(counts)); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }
@@ -298,7 +323,9 @@ func Fig13(d *Dataset, fs []float64, seed int64) (*motio.SeriesTable, error) {
 		x[k] = float64(k)
 	}
 	t := motio.NewSeriesTable("frame", x)
-	t.MustAddColumn("original", motio.IntsToFloats(d.Tracks.CountSeries(m)))
+	if err := t.AddColumn("original", motio.IntsToFloats(d.Tracks.CountSeries(m))); err != nil {
+		return nil, err
+	}
 	for _, f := range fs {
 		p1, err := d.phase1(f, true, rng)
 		if err != nil {
@@ -310,7 +337,9 @@ func Fig13(d *Dataset, fs []float64, seed int64) (*motio.SeriesTable, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.MustAddColumn(fmt.Sprintf("f=%.1f", f), motio.IntsToFloats(p2.Tracks.CountSeries(m)))
+		if err := t.AddColumn(fmt.Sprintf("f=%.1f", f), motio.IntsToFloats(p2.Tracks.CountSeries(m))); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
 }

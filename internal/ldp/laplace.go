@@ -11,7 +11,7 @@ import (
 func Laplace(b float64, rng *rand.Rand) float64 {
 	// u uniform in (-0.5, 0.5]; the open lower bound avoids log(0).
 	u := rng.Float64() - 0.5
-	if u == -0.5 {
+	if u == -0.5 { //lint:allow floateq -0.5 is exactly representable; remaps the one log(0) input
 		u = 0.5
 	}
 	return -b * sign(u) * math.Log(1-2*math.Abs(u))

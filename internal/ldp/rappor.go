@@ -54,7 +54,7 @@ func (c RapporConfig) Epsilon() (float64, error) {
 	if err := c.Validate(); err != nil {
 		return 0, err
 	}
-	if c.F == 0 {
+	if c.F == 0 { //lint:allow floateq exact-zero sentinel: F=0 disables permanent randomization
 		return math.Inf(1), nil
 	}
 	return 2 * float64(c.Hashes) * math.Log((1-c.F/2)/(c.F/2)), nil
@@ -140,7 +140,7 @@ func DecodeCounts(reports []BitVector, cfg RapporConfig) ([]float64, error) {
 	// where t1 is the count of set permanent bits.
 	out := make([]float64, cfg.Bits)
 	for i, obs := range counts {
-		if cfg.Q == cfg.P {
+		if cfg.Q == cfg.P { //lint:allow floateq exact-zero guard for the q−p denominator below
 			out[i] = 0
 			continue
 		}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive grammar (documented in DESIGN.md §2d):
+//
+//	//lint:allow analyzer[,analyzer...] [reason...]
+//
+// The comment must start exactly with "//lint:allow" (no space after the
+// slashes, mirroring //go: directives). The analyzer list is comma-separated
+// with no spaces; everything after the first space is a free-text reason and
+// is strongly encouraged — an exception without a reason is a review smell.
+// A directive suppresses the listed analyzers on the directive's own line
+// (trailing-comment style) and on the line directly below it
+// (comment-above-statement style). It never applies file- or block-wide:
+// every exception is visible at the call site it excuses.
+const allowPrefix = "//lint:allow"
+
+// allowKey identifies one suppressed (file, line, analyzer) cell.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type allowIndex struct {
+	cells map[allowKey]bool
+}
+
+// buildAllowIndex scans every comment in the files and materializes the
+// suppressed (file, line, analyzer) set.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{cells: map[allowKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range names {
+					idx.cells[allowKey{pos.Filename, pos.Line, name}] = true
+					idx.cells[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllow extracts the analyzer names from one comment's text, or nil
+// when the comment is not an allow directive.
+func parseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok {
+		return nil
+	}
+	// Require a separator after the keyword so "//lint:allowx" is not a
+	// directive.
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, name := range strings.Split(fields[0], ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+	if idx == nil {
+		return false
+	}
+	return idx.cells[allowKey{pos.Filename, pos.Line, analyzer}]
+}

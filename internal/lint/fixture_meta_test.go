@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The meta-tests assert the fixture runner itself fails when a fixture's
+// want comments drift from the diagnostics — otherwise an analyzer test
+// could silently assert nothing.
+
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestFixtureMissingWantFails(t *testing.T) {
+	// A diagnostic fires but no want comment claims it.
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b float64) bool {
+	return a == b
+}
+`)
+	problems, err := CheckFixture(NewLoader(), dir, NewFloatEq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "unexpected diagnostic") {
+		t.Fatalf("want one 'unexpected diagnostic' problem, got %q", problems)
+	}
+}
+
+func TestFixtureExtraWantFails(t *testing.T) {
+	// A want comment claims a diagnostic that never fires.
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b int) bool {
+	return a == b // want "floating-point"
+}
+`)
+	problems, err := CheckFixture(NewLoader(), dir, NewFloatEq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "no diagnostic matching") {
+		t.Fatalf("want one 'no diagnostic matching' problem, got %q", problems)
+	}
+}
+
+func TestFixtureWrongPatternFails(t *testing.T) {
+	// A want comment exists on the right line but its pattern does not
+	// match the message: both an unexpected diagnostic and an unmatched
+	// want must be reported.
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want "something else entirely"
+}
+`)
+	problems, err := CheckFixture(NewLoader(), dir, NewFloatEq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems, got %q", problems)
+	}
+}
+
+func TestFixtureExactMatchPasses(t *testing.T) {
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+func allowed(a, b float64) bool {
+	return a == b //lint:allow floateq meta-test sentinel
+}
+`)
+	problems, err := CheckFixture(NewLoader(), dir, NewFloatEq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want clean fixture, got %q", problems)
+	}
+}
+
+func TestFixtureBadWantPattern(t *testing.T) {
+	// An unparseable want regexp is a fixture authoring error, not a pass.
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want "(["
+}
+`)
+	if _, err := CheckFixture(NewLoader(), dir, NewFloatEq()); err == nil {
+		t.Fatal("bad want pattern should fail the fixture load")
+	}
+}
+
+func TestFixtureWantWithoutQuote(t *testing.T) {
+	dir := writeFixture(t, `package fixture
+
+func eq(a, b float64) bool {
+	return a == b // want floating-point
+}
+`)
+	if _, err := CheckFixture(NewLoader(), dir, NewFloatEq()); err == nil {
+		t.Fatal("want comment without quoted pattern should fail the fixture load")
+	}
+}

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NewFloatEq builds the floateq analyzer: the privacy guarantee (Theorems
+// 1–2) assumes exact flip probabilities, and LP pivoting assumes consistent
+// tie-breaking, so `==`/`!=` between floating-point values in the privacy
+// and optimization packages is almost always a latent bug — a value that
+// was supposed to be exactly p arrives as p±ulp and the guard silently
+// takes the wrong branch. Compare against a tolerance, use math.IsNaN, or
+// annotate a deliberate exact-sentinel comparison with //lint:allow
+// floateq. only restricts the analyzer to the listed package path prefixes;
+// empty means every package.
+func NewFloatEq(only ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "forbid ==/!= on floating-point operands in privacy-math packages",
+	}
+	if len(only) > 0 {
+		a.Match = func(pkgPath string) bool {
+			for _, o := range only {
+				if pkgPath == o || strings.HasPrefix(pkgPath, o+"/") {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.TypeOf(be.X)) || isFloat(pass.TypeOf(be.Y)) {
+					pass.Reportf(be.OpPos,
+						"%s on floating-point operands; compare with a tolerance (or annotate an exact sentinel)", be.Op)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

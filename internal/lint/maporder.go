@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewMapOrder builds the maporder analyzer: Go randomizes map iteration
+// order per range statement, so a `range` over a map whose body does
+// order-sensitive work — appending to a slice, accumulating floats (float
+// addition does not commute at the bit level), or writing output — produces
+// different bytes on every run and breaks bit-identical replay. The
+// sanctioned pattern is a sorted-keys preamble; the analyzer recognizes the
+// equivalent collect-then-sort idiom (append inside the loop, sort of the
+// same slice after the loop — including after an enclosing loop) and stays
+// quiet there.
+func NewMapOrder() *Analyzer {
+	a := &Analyzer{
+		Name: "maporder",
+		Doc:  "forbid order-sensitive work inside range-over-map; iterate sorted keys",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					checkBlock(pass, fd.Body.List, nil)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkBlock walks the statements of one block. follow carries the
+// statements that execute after the block — the continuation — so a sort
+// following an enclosing loop still counts as the sorted-after idiom for an
+// append nested inside it.
+func checkBlock(pass *Pass, stmts []ast.Stmt, follow []ast.Stmt) {
+	for i, stmt := range stmts {
+		rest := make([]ast.Stmt, 0, len(stmts)-i-1+len(follow))
+		rest = append(rest, stmts[i+1:]...)
+		rest = append(rest, follow...)
+		checkStmt(pass, stmt, rest)
+	}
+}
+
+func checkStmt(pass *Pass, stmt ast.Stmt, follow []ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.LabeledStmt:
+		checkStmt(pass, s.Stmt, follow)
+	case *ast.RangeStmt:
+		if isMapRange(pass, s) {
+			checkMapRange(pass, s, follow)
+		} else {
+			checkBlock(pass, s.Body.List, follow)
+		}
+	case *ast.ForStmt:
+		checkBlock(pass, s.Body.List, follow)
+	case *ast.IfStmt:
+		checkBlock(pass, s.Body.List, follow)
+		if s.Else != nil {
+			checkStmt(pass, s.Else, follow)
+		}
+	case *ast.BlockStmt:
+		checkBlock(pass, s.List, follow)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body, follow)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlock(pass, cc.Body, follow)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkBlock(pass, cc.Body, follow)
+			}
+		}
+	default:
+		// Function literals in expression position (go/defer/assignments/
+		// calls) start a fresh continuation: nothing in the enclosing block
+		// is known to run after the literal's body.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkBlock(pass, lit.Body.List, nil)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange reports order-sensitive statements anywhere in the loop
+// body (nested loops included — they still execute per map iteration).
+// follow is the loop's continuation, consulted for the sorted-after idiom.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, follow []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, s, follow)
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if pkg, name, ok := pass.CalleeOf(call); ok && pkg == "fmt" && isPrintName(name) {
+					pass.Reportf(call.Pos(),
+						"fmt.%s inside range over map emits output in nondeterministic order; iterate sorted keys", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *Pass, s *ast.AssignStmt, follow []ast.Stmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) {
+				continue
+			}
+			var target types.Object
+			if i < len(s.Lhs) {
+				if id, ok := s.Lhs[i].(*ast.Ident); ok {
+					target = pass.objectOf(id)
+				}
+			}
+			if target != nil && sortedAfter(pass, target, follow) {
+				continue
+			}
+			pass.Reportf(call.Pos(),
+				"append inside range over map accumulates in nondeterministic order; iterate sorted keys or sort the result")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(s.Lhs) == 1 && isFloat(pass.TypeOf(s.Lhs[0])) {
+			pass.Reportf(s.Pos(),
+				"floating-point accumulation inside range over map is order-dependent at the bit level; iterate sorted keys")
+		}
+	}
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pass.Info == nil {
+		return true
+	}
+	_, builtin := pass.Info.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isPrintName(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether a statement in the loop's continuation sorts
+// the slice the loop appended to — sort.X(target, ...) or
+// slices.SortX(target, ...).
+func sortedAfter(pass *Pass, target types.Object, follow []ast.Stmt) bool {
+	for _, stmt := range follow {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		pkg, _, ok := pass.CalleeOf(call)
+		if !ok || (pkg != "sort" && pkg != "slices") {
+			continue
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.objectOf(id) == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *Pass) objectOf(id *ast.Ident) types.Object {
+	if p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}

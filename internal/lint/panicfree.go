@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NewPanicFree builds the panicfree analyzer: library packages must report
+// failures as errors — a panic in a pipeline stage tears down the whole
+// serving process. The only sanctioned panics are programmer-invariant
+// guards (index/range violations that cannot be triggered by input data),
+// and each one must carry a //lint:allow panicfree annotation with a reason.
+// only restricts the analyzer to the listed package path prefixes; empty
+// means every package.
+func NewPanicFree(only ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "panicfree",
+		Doc:  "forbid panic in library packages; return errors (annotated invariant guards excepted)",
+	}
+	if len(only) > 0 {
+		a.Match = func(pkgPath string) bool {
+			for _, o := range only {
+				if pkgPath == o || strings.HasPrefix(pkgPath, o+"/") {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if pass.Info != nil {
+					if _, builtin := pass.Info.Uses[id].(*types.Builtin); !builtin {
+						return true // shadowed identifier, not the builtin
+					}
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library package; return an error (annotate true invariant guards with //lint:allow panicfree)")
+				return true
+			})
+		}
+	}
+	return a
+}

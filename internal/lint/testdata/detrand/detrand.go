@@ -1,0 +1,35 @@
+// Fixture for the detrand analyzer: global math/rand draws and wall-clock
+// seeding are flagged; threaded seeded generators and annotated sites pass.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() float64 {
+	n := rand.Intn(10)                 // want "global math/rand.Intn"
+	return rand.Float64() + float64(n) // want "global math/rand.Float64"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle"
+}
+
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func allowedDraw() int {
+	return rand.Intn(3) //lint:allow detrand fixture demonstrates the directive
+}
+
+func allowedAbove() int {
+	//lint:allow detrand fixture demonstrates comment-above suppression
+	return rand.Intn(3)
+}

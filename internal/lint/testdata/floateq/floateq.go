@@ -1,0 +1,33 @@
+// Fixture for the floateq analyzer: exact float comparison is flagged;
+// tolerance comparison, integer comparison, and annotated sentinels pass.
+package fixture
+
+import "math"
+
+func exactEq(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func exactNeq(a float64) bool {
+	return a != 0 // want "!= on floating-point operands"
+}
+
+func exactEq32(a, b float32) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func intEq(a, b int) bool {
+	return a == b // ok: integers compare exactly
+}
+
+func tolerant(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9 // ok: tolerance comparison
+}
+
+func nanCheck(a float64) bool {
+	return math.IsNaN(a) // ok: the sanctioned NaN test
+}
+
+func sentinel(f float64) bool {
+	return f == 0.5 //lint:allow floateq 0.5 is exactly representable
+}

@@ -1,0 +1,84 @@
+// Fixture for the maporder analyzer: order-sensitive work inside a map
+// range is flagged; the collect-keys-then-sort idiom, commutative integer
+// arithmetic, and annotated sites pass.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+)
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside range over map"
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted directly after the loop
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sort.Slice after the loop
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func nestedCollectThenSort(ms []map[string]int) []string {
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			keys = append(keys, k) // ok: sorted after the enclosing loop
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "floating-point accumulation"
+	}
+	return sum
+}
+
+func intAccum(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer addition commutes exactly
+	}
+	return n
+}
+
+func printLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "nondeterministic order"
+	}
+}
+
+func sliceRangeFine(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // ok: slices iterate in index order
+	}
+	return sum
+}
+
+func allowedAccum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow maporder aggregate only compared with tolerance
+	}
+	return sum
+}

@@ -1,0 +1,26 @@
+// Fixture for the panicfree analyzer: panics are flagged unless annotated
+// as invariant guards; shadowed identifiers named panic pass.
+package fixture
+
+import "fmt"
+
+func onError(err error) {
+	if err != nil {
+		panic(err) // want "panic in library package"
+	}
+}
+
+func message(n int) {
+	panic(fmt.Sprintf("bad %d", n)) // want "panic in library package"
+}
+
+func guard(n int) {
+	if n < 0 {
+		panic("negative length") //lint:allow panicfree invariant guard, unreachable from input data
+	}
+}
+
+func shadowed() {
+	panic := func(v any) { _ = v }
+	panic("not the builtin") // ok: local identifier shadows the builtin
+}

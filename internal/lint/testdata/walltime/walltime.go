@@ -1,0 +1,27 @@
+// Fixture for the walltime analyzer: clock reads are flagged unless the
+// call site carries a //lint:allow walltime annotation.
+package fixture
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall clock"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "wall clock"
+}
+
+func sleeping() {
+	time.Sleep(time.Millisecond) // ok: sleeping reads no clock value
+}
+
+func spanTiming() time.Duration {
+	start := time.Now() //lint:allow walltime span timing, never leaves the trace
+	//lint:allow walltime span timing, never leaves the trace
+	return time.Since(start)
+}

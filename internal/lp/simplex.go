@@ -220,7 +220,7 @@ func (t *tableau) pivot(row, col int) {
 			continue
 		}
 		factor := t.a[i][col]
-		if factor == 0 {
+		if factor == 0 { //lint:allow floateq skipping exactly-zero rows is safe; near-zero rows must still eliminate
 			continue
 		}
 		for j := range t.a[i] {
@@ -241,7 +241,7 @@ func (t *tableau) simplexLoop(c []float64) error {
 			var z float64
 			for i := 0; i < t.m; i++ {
 				cb := c[t.basis[i]]
-				if cb != 0 {
+				if cb != 0 { //lint:allow floateq exactly-zero coefficients contribute nothing; pure sparsity skip
 					z += cb * t.a[i][j]
 				}
 			}

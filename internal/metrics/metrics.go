@@ -17,7 +17,9 @@ import (
 // over orig's frames (each frame contributes min(1, ‖P−P*‖/‖P‖); absent
 // synthetic frames contribute 1) and the number of frames.
 func pairDeviation(orig, syn *motio.Track) (total float64, frames int) {
-	for k := range orig.Boxes {
+	// Sorted frames, not the Boxes map directly: the float accumulation
+	// below must run in a fixed order or the sum's low bits change per run.
+	for _, k := range orig.Frames() {
 		p, _ := orig.Center(k)
 		frames++
 		if syn == nil {
@@ -135,7 +137,8 @@ func SamplesDeviation(original *motio.TrackSet, assigned [][]interp.Sample) floa
 		for _, s := range samples {
 			byFrame[s.Frame] = s
 		}
-		for k := range orig.Boxes {
+		// Sorted frames for the same bit-determinism reason as pairDeviation.
+		for _, k := range orig.Frames() {
 			p, _ := orig.Center(k)
 			pairs++
 			s, ok := byFrame[k]

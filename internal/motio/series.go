@@ -39,14 +39,6 @@ func (t *SeriesTable) AddColumn(name string, samples []float64) error {
 	return nil
 }
 
-// MustAddColumn is AddColumn that panics on length mismatch; used by the
-// experiment harness where a mismatch is a bug, not an input error.
-func (t *SeriesTable) MustAddColumn(name string, samples []float64) {
-	if err := t.AddColumn(name, samples); err != nil {
-		panic(err)
-	}
-}
-
 // WriteCSV serializes the table with a header row.
 func (t *SeriesTable) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)

@@ -261,7 +261,7 @@ func (p *Pool) forChunks(n, size, chunks int, fn func(lo, hi int)) {
 	// if the two ever diverge.
 	wg.Wait()
 	if first != nil {
-		panic(first.value)
+		panic(first.value) //lint:allow panicfree re-raises a worker goroutine's panic on the coordinator
 	}
 }
 

@@ -97,11 +97,21 @@ func TestSave(t *testing.T) {
 
 func TestFig5FromTable(t *testing.T) {
 	tab := motio.NewSeriesTable("f", []float64{0.1, 0.9})
-	tab.MustAddColumn("original", []float64{23, 23})
-	tab.MustAddColumn("opt", []float64{20, 20})
-	tab.MustAddColumn("rr", []float64{20, 18})
-	tab.MustAddColumn("dev_before_phase2", []float64{0.97, 0.98})
-	tab.MustAddColumn("dev_after_phase2", []float64{0.44, 0.65})
+	cols := []struct {
+		name    string
+		samples []float64
+	}{
+		{"original", []float64{23, 23}},
+		{"opt", []float64{20, 20}},
+		{"rr", []float64{20, 18}},
+		{"dev_before_phase2", []float64{0.97, 0.98}},
+		{"dev_after_phase2", []float64{0.44, 0.65}},
+	}
+	for _, c := range cols {
+		if err := tab.AddColumn(c.name, c.samples); err != nil {
+			t.Fatal(err)
+		}
+	}
 	points := Fig5FromTable(tab)
 	if len(points) != 2 {
 		t.Fatalf("points = %d", len(points))

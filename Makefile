@@ -3,11 +3,12 @@
 
 GO ?= go
 
-.PHONY: check vet build lint fmt-check test race fuzz bench bench-json clean
+.PHONY: check vet build lint lint-flow fmt-check test race race-par fuzz bench bench-json clean
 
-## check: the CI gate — vet, build, verrolint, gofmt, race-enabled tests, and
-## a short fuzz pass. Fails on any lint diagnostic or unformatted file.
-check: vet build lint fmt-check race fuzz
+## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
+## gofmt, the targeted worker-pool race gate, the full race suite, and a
+## short fuzz pass. Fails on any new lint diagnostic or unformatted file.
+check: vet build lint fmt-check race-par race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +16,17 @@ vet:
 build:
 	$(GO) build ./...
 
-## lint: the in-repo static-analysis suite (cmd/verrolint) — determinism,
-## privacy-math and panic-freedom invariants. See DESIGN.md §2d.
+## lint: the in-repo static-analysis suite (cmd/verrolint) — the classic
+## determinism/privacy-math/panic-freedom analyzers (DESIGN.md §2d) plus the
+## verroflow taint analyzers (§2e). Findings recorded in lint-baseline.json
+## are absorbed; only new diagnostics fail.
 lint:
-	$(GO) run ./cmd/verrolint ./...
+	$(GO) run ./cmd/verrolint -baseline lint-baseline.json ./...
+
+## lint-flow: only the taint-tracking dataflow analyzers (privleak,
+## epsconsist, capturerace), without the classic suite or the baseline.
+lint-flow:
+	$(GO) run ./cmd/verrolint -classic=false ./...
 
 ## fmt-check: fail if any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -30,6 +38,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## race-par: the targeted race gate — worker-pool equivalence and the scoped
+## concurrent-sanitize test under the race detector (all in parallel_test.go
+## at the repo root). A fast early failure before the full race suite.
+race-par:
+	$(GO) test -race -run 'TestParallelEquivalence|TestConcurrentSanitizeScopedWorkers' .
 
 ## fuzz: a short .vvf codec fuzz pass; lengthen with FUZZTIME=60s.
 FUZZTIME ?= 5s

@@ -131,6 +131,10 @@ func runAll(which, videos, out, htmlPath string, opt exp.Options) error {
 			}
 			exp.PrintTrajectorySummary(os.Stdout, fig)
 			if out != "" {
+				// Figures 6-8 plot original against sanitized trajectories; the
+				// unsanitized series are half of the published comparison by the
+				// paper's design, not an accidental leak.
+				//lint:allow privleak figure data includes the original trajectories on purpose
 				if err := fig.SaveCSVs(out); err != nil {
 					return err
 				}

@@ -49,12 +49,18 @@ func run(videos string, scale float64, out string, pngN int, y4m bool) error {
 		if err != nil {
 			return err
 		}
+		// mkvideo is the dataset generator: its entire purpose is to write the
+		// raw synthetic benchmark (video, ground-truth tracks, previews) that
+		// the sanitizer pipeline later consumes. Nothing here is published
+		// output in the paper's threat model.
 		vpath := filepath.Join(out, p.Name+".vvf")
+		//lint:allow privleak raw benchmark video is this tool's product
 		n, err := vid.WriteFile(vpath, g.Video)
 		if err != nil {
 			return err
 		}
 		tpath := filepath.Join(out, p.Name+"-gt.csv")
+		//lint:allow privleak ground-truth CSV is the benchmark's labelled answer key
 		if err := g.Truth.SaveCSV(tpath); err != nil {
 			return err
 		}
@@ -62,6 +68,7 @@ func run(videos string, scale float64, out string, pngN int, y4m bool) error {
 			vpath, float64(n)/(1<<20), tpath, g.Truth.Len())
 		if y4m {
 			ypath := filepath.Join(out, p.Name+".y4m")
+			//lint:allow privleak Y4M export is a player-compatible copy of the raw benchmark
 			if err := vid.SaveY4M(ypath, g.Video); err != nil {
 				return err
 			}
@@ -72,6 +79,7 @@ func run(videos string, scale float64, out string, pngN int, y4m bool) error {
 			count := 0
 			for k := 0; k < g.Video.Len(); k += pngN {
 				path := filepath.Join(dir, fmt.Sprintf("frame%05d.png", k))
+				//lint:allow privleak PNG dumps are debugging previews of the raw benchmark
 				if err := g.Video.Frame(k).WritePNG(path); err != nil {
 					return err
 				}

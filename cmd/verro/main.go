@@ -83,6 +83,9 @@ func run(opt options) error {
 	if err != nil {
 		return err
 	}
+	// Video.String() prints dimensions and frame count only — metadata the
+	// operator already knows, not pixel or trajectory data.
+	//lint:allow privleak %v formats the video's size summary, not its content
 	fmt.Printf("input: %v\n", video)
 
 	// One trace covers the whole run: detection+tracking (when it runs) and

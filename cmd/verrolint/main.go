@@ -1,15 +1,22 @@
-// Command verrolint runs VERRO's static-analysis suite (internal/lint) over
-// the repository: five analyzers that mechanically enforce the project's
-// determinism, privacy-math, and error-handling invariants at make-check
-// time instead of after an equivalence test catches a violation.
+// Command verrolint runs VERRO's static-analysis suite over the repository:
+// the classic single-expression analyzers (internal/lint) that mechanically
+// enforce determinism, privacy-math, and error-handling invariants, plus
+// the dataflow analyzers (internal/lint/flow) that prove raw object data
+// never reaches a published artifact unsanitized, privacy parameters come
+// from validated configs, and worker-pool closures stay race-free.
 //
 // Usage:
 //
-//	verrolint [-json] [-tests] [-list] [pattern ...]
+//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-baseline file] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
-// ("./..." is the default). Exit status is 0 when clean, 1 when any
-// diagnostic fired, 2 on load or usage errors.
+// ("./..." is the default). The flow analyzers see every matched package as
+// one program, so cross-package flows are visible whenever both ends are in
+// the pattern set. With -baseline, diagnostics recorded in the given -json
+// snapshot are tolerated and only new ones fail the run — the ratchet for
+// adopting a new analyzer on a codebase with known findings. Exit status is
+// 0 when clean, 1 when any (new) diagnostic fired, 2 on load or usage
+// errors.
 package main
 
 import (
@@ -20,9 +27,11 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"verro/internal/lint"
+	"verro/internal/lint/flow"
 )
 
 func main() {
@@ -30,7 +39,7 @@ func main() {
 }
 
 // jsonDiag is the -json wire form of one diagnostic, the stable shape CI
-// can diff across PRs.
+// can diff across PRs and the schema of -baseline files.
 type jsonDiag struct {
 	File     string `json:"file"`
 	Line     int    `json:"line"`
@@ -45,14 +54,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fl.Bool("json", false, "emit diagnostics as a JSON array (file, line, col, analyzer, message)")
 	tests := fl.Bool("tests", false, "also lint _test.go files")
 	list := fl.Bool("list", false, "list the analyzers and their invariants, then exit")
+	classic := fl.Bool("classic", true, "run the classic single-expression analyzers")
+	flowOn := fl.Bool("flow", true, "run the dataflow analyzers (privleak, epsconsist, capturerace)")
+	baseline := fl.String("baseline", "", "JSON baseline file (a prior -json run); only diagnostics not in it fail")
 	if err := fl.Parse(args); err != nil {
 		return 2
 	}
 
 	analyzers := lint.ProjectAnalyzers()
+	flowAnalyzers := flow.ProjectAnalyzers()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range flowAnalyzers {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -77,14 +93,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	loader := lint.NewLoader()
 	loader.IncludeTests = *tests
-	var diags []lint.Diagnostic
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "verrolint: %v\n", err)
 			return 2
 		}
-		diags = append(diags, lint.Run(pkg, analyzers...)...)
+		pkgs = append(pkgs, pkg)
+	}
+
+	var diags []lint.Diagnostic
+	if *classic {
+		for _, pkg := range pkgs {
+			diags = append(diags, lint.Run(pkg, analyzers...)...)
+		}
+	}
+	if *flowOn {
+		diags = append(diags, flow.Run(pkgs, flowAnalyzers...)...)
+	}
+	lint.Sort(diags)
+
+	baselined := 0
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "verrolint: %v\n", err)
+			return 2
+		}
+		diags, baselined = diffBaseline(diags, base)
 	}
 
 	if *jsonOut {
@@ -111,11 +148,75 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "verrolint: %d diagnostic(s)\n", len(diags))
+			fmt.Fprintf(stderr, "verrolint: %d diagnostic(s)%s%s\n",
+				len(diags), analyzerCounts(diags), baselineNote(baselined))
 		}
 		return 1
 	}
+	if baselined > 0 && !*jsonOut {
+		fmt.Fprintf(stderr, "verrolint: clean%s\n", baselineNote(baselined))
+	}
 	return 0
+}
+
+// analyzerCounts renders the per-analyzer breakdown of the summary line,
+// e.g. " (detrand 1, privleak 2)".
+func analyzerCounts(diags []lint.Diagnostic) string {
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s %d", name, counts[name]))
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}
+
+func baselineNote(baselined int) string {
+	if baselined == 0 {
+		return ""
+	}
+	return fmt.Sprintf("; %d baselined", baselined)
+}
+
+func loadBaseline(path string) ([]jsonDiag, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base []jsonDiag
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return base, nil
+}
+
+// diffBaseline removes diagnostics recorded in the baseline and reports how
+// many were absorbed. Matching is a multiset on (file, analyzer, message) —
+// deliberately ignoring line and column, so unrelated edits that shift a
+// known finding do not resurface it, while a second instance of the same
+// finding in the same file does fail.
+func diffBaseline(diags []lint.Diagnostic, base []jsonDiag) (fresh []lint.Diagnostic, baselined int) {
+	remaining := map[string]int{}
+	for _, b := range base {
+		remaining[b.File+"\x00"+b.Analyzer+"\x00"+b.Message]++
+	}
+	for _, d := range diags {
+		key := filepath.ToSlash(d.Pos.Filename) + "\x00" + d.Analyzer + "\x00" + d.Message
+		if remaining[key] > 0 {
+			remaining[key]--
+			baselined++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, baselined
 }
 
 // expand resolves one pattern to package directories. "dir/..." walks dir

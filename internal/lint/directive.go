@@ -27,14 +27,18 @@ type allowKey struct {
 	analyzer string
 }
 
-type allowIndex struct {
+// AllowIndex is the materialized suppression set of one package: every
+// (file, line, analyzer) cell a //lint:allow directive covers. It is
+// exported so analysis drivers outside this package (the flow engine, which
+// reports across package boundaries) honor the same directives.
+type AllowIndex struct {
 	cells map[allowKey]bool
 }
 
-// buildAllowIndex scans every comment in the files and materializes the
+// BuildAllowIndex scans every comment in the files and materializes the
 // suppressed (file, line, analyzer) set.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{cells: map[allowKey]bool{}}
+func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
+	idx := &AllowIndex{cells: map[allowKey]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -78,7 +82,9 @@ func parseAllow(text string) []string {
 	return names
 }
 
-func (idx *allowIndex) allows(analyzer string, pos token.Position) bool {
+// Allows reports whether the directive set suppresses the analyzer at the
+// position's line. A nil index allows nothing.
+func (idx *AllowIndex) Allows(analyzer string, pos token.Position) bool {
 	if idx == nil {
 		return false
 	}

@@ -36,12 +36,24 @@ func CheckFixture(l *Loader, dir string, analyzers ...*Analyzer) (problems []str
 	if err != nil {
 		return nil, err
 	}
-	expects, err := collectWants(pkg)
-	if err != nil {
-		return nil, err
+	return CheckDiagnostics([]*Package{pkg}, Run(pkg, analyzers...))
+}
+
+// CheckDiagnostics matches an already-computed diagnostic set against the
+// `// want` comments of the packages, returning one problem string per
+// mismatch. It is the multi-package core of CheckFixture, used directly by
+// drivers whose analyses span several packages at once (the flow engine's
+// cross-package fixtures).
+func CheckDiagnostics(pkgs []*Package, diags []Diagnostic) (problems []string, err error) {
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		es, err := collectWants(pkg)
+		if err != nil {
+			return nil, err
+		}
+		expects = append(expects, es...)
 	}
 
-	diags := Run(pkg, analyzers...)
 	for _, d := range diags {
 		if e := matchExpectation(expects, d); e != nil {
 			e.matched = true

@@ -1,0 +1,325 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"verro/internal/lint"
+)
+
+// capturerace checks the closures handed to the worker pool. The
+// equivalence tests prove par.For's sharding is deterministic, but they
+// cannot see a closure that mutates shared state: a captured accumulator,
+// a struct field, or a shared slice indexed by something other than the
+// worker's own chunk. Such writes race across workers and break the
+// bit-identical-at-any-worker-count invariant even when `-race` happens
+// not to catch the interleaving.
+//
+// The analysis is purely syntactic over one closure at a time. Within a
+// function literal passed as the worker body of par.For / par.Map /
+// par.MapPool / (par.Pool).For, it classifies every written location:
+//
+//   - writes to closure-local variables are safe (each worker invocation
+//     has its own frame);
+//   - element writes into a captured slice or array are safe exactly when
+//     the index is *derived* — computed from the closure's own parameters
+//     (lo/hi or the mapped index) and locals that never take a
+//     non-derived value, so distinct workers touch disjoint elements;
+//   - everything else — captured scalars and pointers, fields of captured
+//     structs, captured maps, non-derived slice indices — is reported.
+//
+// Channel sends are not writes (channels synchronize); reduction across
+// workers should flow through par.Map results or a channel, never a
+// captured accumulator.
+
+// workerCallees are the pool entry points whose final argument runs
+// concurrently.
+var workerCallees = set(
+	"verro/internal/par.For",
+	"verro/internal/par.Map",
+	"verro/internal/par.MapPool",
+	"(verro/internal/par.Pool).For",
+)
+
+// NewCaptureRace builds the shared-capture-write analyzer.
+func NewCaptureRace() *Analyzer {
+	return &Analyzer{
+		Name: "capturerace",
+		Doc:  "worker-pool closures must not write captured variables or non-derived shared indices",
+		run:  captureRaceRun,
+	}
+}
+
+func captureRaceRun(prog *Program, rep *reporter) {
+	for _, name := range prog.funcNames() {
+		fd := prog.funcs[name]
+		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := staticCalleeInfo(fd.pkg.Info, call)
+			if fn == nil || !workerCallees[normName(fn)] {
+				return true
+			}
+			lit, ok := unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkWorkerBody(fd.pkg, lit, rep)
+			return true
+		})
+	}
+}
+
+// staticCalleeInfo resolves a call's static target through an Info (the
+// engine's staticCallee, without a walker).
+func staticCalleeInfo(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			fn, _ := info.Uses[f].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := info.Uses[f.Sel].(*types.Func)
+			return fn
+		case *ast.IndexExpr:
+			fun = unparen(f.X)
+		case *ast.IndexListExpr:
+			fun = unparen(f.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// litScope is the per-closure analysis state.
+type litScope struct {
+	pkg  *lint.Package
+	info *types.Info
+	rep  *reporter
+	// locals are objects declared inside the literal (parameters included):
+	// per-invocation storage, safe to write.
+	locals map[types.Object]bool
+	// derived are locals whose value is always a function of the worker
+	// parameters — usable as disjoint shard indices.
+	derived map[types.Object]bool
+}
+
+func checkWorkerBody(pkg *lint.Package, lit *ast.FuncLit, rep *reporter) {
+	s := &litScope{
+		pkg:     pkg,
+		info:    pkg.Info,
+		rep:     rep,
+		locals:  map[types.Object]bool{},
+		derived: map[types.Object]bool{},
+	}
+
+	// Everything Defs'd inside the literal (params, :=, var, range vars,
+	// nested-closure locals) is per-invocation storage.
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.info.Defs[id]; obj != nil {
+				s.locals[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Derived set: greatest fixpoint. Start by assuming every local is
+	// derived, then strike any local that ever takes a value not computed
+	// from derived inputs (the worker parameters seed the set). Iterate
+	// because locals feed each other.
+	for obj := range s.locals {
+		s.derived[obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					obj := s.objOf(lhs)
+					if obj == nil || !s.derived[obj] {
+						continue
+					}
+					ok := false
+					if len(n.Rhs) == len(n.Lhs) {
+						ok = s.derivedExpr(n.Rhs[i])
+					}
+					if !ok {
+						delete(s.derived, obj)
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// Range keys/values are per-worker-distinct only when the
+				// ranged operand itself is derived (a shard like x[lo:hi]);
+				// ranging a shared container yields the same sequence in
+				// every worker.
+				if !s.derivedExpr(n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if obj := s.objOf(e); obj != nil && s.derived[obj] {
+							delete(s.derived, obj)
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				s.checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			s.checkWrite(n.X)
+		}
+		return true
+	})
+}
+
+// objOf resolves a plain identifier LHS to its object.
+func (s *litScope) objOf(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := s.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return s.info.Uses[id]
+}
+
+// derivedExpr reports whether the expression is a function of worker
+// parameters and derived locals only.
+func (s *litScope) derivedExpr(e ast.Expr) bool {
+	switch x := unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		obj := s.objOf(x)
+		if obj == nil {
+			return false
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return true
+		}
+		return s.derived[obj]
+	case *ast.BinaryExpr:
+		return s.derivedExpr(x.X) && s.derivedExpr(x.Y)
+	case *ast.UnaryExpr:
+		return s.derivedExpr(x.X)
+	case *ast.IndexExpr:
+		return s.derivedExpr(x.X) && s.derivedExpr(x.Index)
+	case *ast.SliceExpr:
+		// A shard x[lo:hi] of any container is per-worker-distinct when its
+		// bounds are.
+		low := x.Low == nil || s.derivedExpr(x.Low)
+		high := x.High == nil || s.derivedExpr(x.High)
+		return low && high
+	case *ast.CallExpr:
+		// Conversions pass derivation through; every other call (len of a
+		// shared slice, rand, clock) is worker-invariant or nondeterministic
+		// — either way not a disjointness witness.
+		if tv, ok := s.info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return s.derivedExpr(x.Args[0])
+		}
+		return false
+	}
+	return false
+}
+
+// checkWrite classifies one written location inside the worker body.
+func (s *litScope) checkWrite(lhs ast.Expr) {
+	lhs = unparen(lhs)
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		obj := s.objOf(x)
+		if obj == nil || s.locals[obj] {
+			return
+		}
+		s.report(x.Pos(), "captured variable %q", x.Name)
+	case *ast.IndexExpr:
+		base := s.info.TypeOf(x.X)
+		if base == nil {
+			return
+		}
+		switch base.Underlying().(type) {
+		case *types.Map:
+			if s.sharedBase(x.X) {
+				s.report(x.Pos(), "captured map %s", render(x.X))
+			}
+		default: // slice, array, pointer-to-array
+			if s.sharedBase(x.X) && !s.derivedExpr(x.Index) {
+				s.report(x.Pos(), "shared slice %s at a non-derived index", render(x.X))
+			}
+		}
+	case *ast.SelectorExpr:
+		if s.sharedBase(x.X) {
+			s.report(x.Pos(), "field %s of a captured value", render(x))
+		}
+	case *ast.StarExpr:
+		if s.sharedBase(x.X) {
+			s.report(x.Pos(), "captured pointer target %s", render(x))
+		}
+	}
+}
+
+// sharedBase reports whether the expression is rooted at storage shared
+// across workers (captured or package-level) rather than a closure local.
+func (s *litScope) sharedBase(e ast.Expr) bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			obj := s.objOf(x)
+			if obj == nil {
+				return false
+			}
+			if _, isPkg := obj.(*types.PkgName); isPkg {
+				return false
+			}
+			return !s.locals[obj]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func (s *litScope) report(pos token.Pos, format string, args ...any) {
+	s.rep.reportf(s.pkg, pos, "worker closure writes "+format+"; workers race on it", args...)
+}
+
+// render prints a small expression for a diagnostic.
+func render(e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return render(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return render(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + render(x.X)
+	case *ast.CallExpr:
+		return render(x.Fun) + "(...)"
+	}
+	return "expression"
+}

@@ -1,0 +1,13 @@
+package flow
+
+// ProjectAnalyzers returns the dataflow suite configured for this
+// repository. fmt printing counts as publication only under verro/cmd/ —
+// the binaries' stdout is the published experiment record, while library
+// packages may print through the tracing layer.
+func ProjectAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		NewPrivLeak("verro/cmd/"),
+		NewEpsConsist(),
+		NewCaptureRace(),
+	}
+}

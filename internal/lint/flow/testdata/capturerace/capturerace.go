@@ -1,0 +1,119 @@
+// Package capturerace is the fixture for the worker-closure write checker:
+// closures handed to the par pool may write their own locals and derived
+// (disjoint-per-worker) shard indices, nothing else that is shared.
+package capturerace
+
+import "verro/internal/par"
+
+// A captured accumulator races across workers.
+func badAccumulator(n int) int {
+	sum := 0
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += i // want "worker closure writes captured variable \"sum\"; workers race on it"
+		}
+	})
+	return sum
+}
+
+// Writing a captured slice at the worker's own indices is the idiomatic
+// sharding pattern and stays quiet.
+func goodShardWrite(n int) []int {
+	out := make([]int, n)
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * i
+		}
+	})
+	return out
+}
+
+// The same slice written at an index that is not derived from the worker
+// parameters collides across workers.
+func badIndex(out []int, idx int) {
+	par.For(len(out), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[idx] = i // want "worker closure writes shared slice out at a non-derived index; workers race on it"
+		}
+	})
+}
+
+// Map writes are unordered even at distinct keys.
+func badMap(n int) map[int]int {
+	m := map[int]int{}
+	par.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m[i] = i // want "worker closure writes captured map m; workers race on it"
+		}
+	})
+	return m
+}
+
+type counter struct{ n int }
+
+// Fields of captured values are shared storage.
+func badField(c *counter, n int) {
+	par.For(n, 1, func(lo, hi int) {
+		c.n = hi // want "worker closure writes field c\.n of a captured value; workers race on it"
+	})
+}
+
+// So are captured pointers' targets, including through a pool method.
+func badPointer(p *int, n int) {
+	pool := par.NewPool(2)
+	pool.For(n, 1, func(lo, hi int) {
+		*p = hi // want "worker closure writes captured pointer target \*p; workers race on it"
+	})
+}
+
+// par.Map's per-index results are the race-free reduction channel.
+func goodMapReduce(n int) []int {
+	return par.Map(n, 1, func(i int) int { return i * 2 })
+}
+
+// Channel sends synchronize; they are not flagged.
+func goodChannel(n int) int {
+	ch := make(chan int, n)
+	par.For(n, 1, func(lo, hi int) {
+		ch <- hi - lo
+	})
+	total := 0
+	for len(ch) > 0 {
+		total += <-ch
+	}
+	return total
+}
+
+// Ranging over a derived shard keeps the loop variables derived: lo+j is a
+// disjoint index.
+func goodShardRange(data, out []float64) {
+	par.For(len(data), 8, func(lo, hi int) {
+		for j, v := range data[lo:hi] {
+			out[lo+j] = v * 2
+		}
+	})
+}
+
+// Ranging over the whole shared slice yields the same indices in every
+// worker.
+func badSharedRange(data, out []float64) {
+	par.For(len(data), 8, func(lo, hi int) {
+		for j := range data {
+			out[j] = data[j] // want "worker closure writes shared slice out at a non-derived index; workers race on it"
+		}
+	})
+}
+
+// Worker-local scratch buffers are per-invocation storage; reusing one
+// inside the chunk loop is the allocation-free idiom the detectors use.
+func goodScratch(frames [][]byte, out []byte) {
+	par.For(len(out), 4096, func(lo, hi int) {
+		vals := make([]byte, len(frames))
+		for idx := lo; idx < hi; idx++ {
+			for s, f := range frames {
+				vals[s] = f[idx]
+			}
+			out[idx] = vals[len(vals)/2]
+		}
+	})
+}

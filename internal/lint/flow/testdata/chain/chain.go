@@ -1,0 +1,15 @@
+// Package chain is the top of the two-hop cross-package fixture: the raw
+// value is produced two packages away (chain → mid → inner) and must still
+// be flagged at the sink here, which requires the per-function summaries to
+// survive propagation across package boundaries.
+package chain
+
+import (
+	"verro/internal/lint/flow/testdata/chain/mid"
+	"verro/internal/scene"
+)
+
+// Leak publishes tracks fetched through the two-hop chain.
+func Leak(g *scene.Generated) error {
+	return mid.Pass(g).SaveCSV("chain.csv") // want "raw object data reaches track CSV file \(motio\.TrackSet\)\.SaveCSV without passing a sanitizer"
+}

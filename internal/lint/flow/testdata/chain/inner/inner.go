@@ -1,0 +1,13 @@
+// Package inner is the first hop of the cross-package summary fixture: it
+// extracts raw ground truth from a scene handle.
+package inner
+
+import (
+	"verro/internal/motio"
+	"verro/internal/scene"
+)
+
+// Raw returns the generated scene's ground-truth tracks — a source field.
+func Raw(g *scene.Generated) *motio.TrackSet {
+	return g.Truth
+}

@@ -1,0 +1,15 @@
+// Package mid is the second hop of the cross-package summary fixture: it
+// forwards inner's raw value without touching it, so any taint reaching a
+// sink downstream traveled through two summaries.
+package mid
+
+import (
+	"verro/internal/lint/flow/testdata/chain/inner"
+	"verro/internal/motio"
+	"verro/internal/scene"
+)
+
+// Pass forwards the raw tracks unchanged.
+func Pass(g *scene.Generated) *motio.TrackSet {
+	return inner.Raw(g)
+}

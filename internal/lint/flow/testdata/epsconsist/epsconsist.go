@@ -1,0 +1,69 @@
+// Package epsconsist is the fixture for the privacy-parameter-provenance
+// analyzer: ldp primitives and ε-arithmetic may only consume parameters
+// from a Phase1Config proven Validate()d (or from the vetted default
+// constructors), unmodified since.
+package epsconsist
+
+import (
+	"math/rand"
+
+	"verro/internal/core"
+	"verro/internal/ldp"
+)
+
+// A literal-constructed config is unvalidated by definition.
+func literalLeak() (float64, error) {
+	cfg := core.Phase1Config{F: 0.25}
+	return ldp.Epsilon(12, cfg.F) // want "privacy parameter from a Phase1Config not proven Validate\(\)d feeds ldp\.Epsilon"
+}
+
+// Validate() on the value cleanses it, in statement order.
+func validated() (float64, error) {
+	cfg := core.Phase1Config{F: 0.25}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return ldp.Epsilon(12, cfg.F)
+}
+
+// The default constructor returns vetted in-range parameters.
+func defaulted(rng *rand.Rand) (ldp.BitVector, error) {
+	cfg := core.DefaultPhase1Config()
+	return ldp.RAPPORFlip(make(ldp.BitVector, 8), cfg.F, rng)
+}
+
+// Mutating a privacy field re-taints the config: the earlier vetting no
+// longer covers the value in use.
+func mutated(rng *rand.Rand) ([]float64, error) {
+	cfg := core.DefaultPhase1Config()
+	cfg.LaplaceEps = 0.4
+	return ldp.NoisyCounts([]int{1, 2}, 1, cfg.LaplaceEps, rng) // want "privacy parameter from a Phase1Config not proven Validate\(\)d feeds ldp\.NoisyCounts"
+}
+
+// Hand-rolled ε-budget arithmetic on an unvalidated parameter bypasses the
+// range checks entirely — flagged even without an ldp call.
+func arithmetic() float64 {
+	cfg := core.Phase1Config{F: 0.5}
+	return cfg.F / 2 // want "privacy parameter from a Phase1Config not proven Validate\(\)d feeds privacy-parameter arithmetic"
+}
+
+// Fields without privacy semantics do not carry taint off the config.
+func nonPrivacyField() int {
+	cfg := core.Phase1Config{F: 0.5, MinPicked: 3}
+	return cfg.MinPicked * 2
+}
+
+// The umbrella Config propagates through its Phase1 field, and its
+// Validate() cleanses the whole value.
+func umbrellaLeak() (float64, error) {
+	cfg := core.Config{Phase1: core.Phase1Config{F: 0.3}}
+	return ldp.FlipProbability(8, cfg.Phase1.F) // want "privacy parameter from a Phase1Config not proven Validate\(\)d feeds ldp\.FlipProbability"
+}
+
+func umbrellaValidated(rng *rand.Rand) (float64, error) {
+	cfg := core.Config{Phase1: core.Phase1Config{F: 0.3, LaplaceEps: 0.5}}
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return ldp.LaplaceMechanism(10, 1, cfg.Phase1.LaplaceEps, rng)
+}

@@ -56,7 +56,7 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
-	allow *allowIndex
+	allow *AllowIndex
 	sink  *[]Diagnostic
 }
 
@@ -64,7 +64,7 @@ type Pass struct {
 // this analyzer covers the position's line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allow.allows(p.Analyzer.Name, position) {
+	if p.allow.Allows(p.Analyzer.Name, position) {
 		return
 	}
 	*p.sink = append(*p.sink, Diagnostic{
@@ -119,7 +119,7 @@ func (p *Pass) CalleeOf(call *ast.CallExpr) (pkgPath, name string, ok bool) {
 // path are skipped.
 func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	allow := BuildAllowIndex(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(pkg.Path) {
 			continue
@@ -135,6 +135,14 @@ func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
+	Sort(diags)
+	return diags
+}
+
+// Sort orders diagnostics by file, line, column, and analyzer — the stable
+// output order every driver (lint.Run, the flow engine, cmd/verrolint)
+// presents.
+func Sort(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -148,5 +156,4 @@ func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }

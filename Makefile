@@ -3,12 +3,13 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-flow fmt-check test race race-par fuzz bench bench-json clean
+.PHONY: check vet build lint lint-flow lint-absint fmt-check test race race-par fuzz bench bench-json clean
 
 ## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
-## gofmt, the targeted worker-pool race gate, the full race suite, and a
-## short fuzz pass. Fails on any new lint diagnostic or unformatted file.
-check: vet build lint fmt-check race-par race fuzz
+## the interval analyzers (-absint), gofmt, the targeted worker-pool race
+## gate, the full race suite, and a short fuzz pass. Fails on any new lint
+## diagnostic or unformatted file.
+check: vet build lint lint-absint fmt-check race-par race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +28,13 @@ lint:
 ## epsconsist, capturerace), without the classic suite or the baseline.
 lint-flow:
 	$(GO) run ./cmd/verrolint -classic=false ./...
+
+## lint-absint: only the interval abstract-interpretation analyzers
+## (probrange, divzero, idxbound — DESIGN.md §2f), sharing the same
+## baseline file; analyzer names are unique across all three suites, so
+## the multiset diff cannot collide across passes.
+lint-absint:
+	$(GO) run ./cmd/verrolint -classic=false -flow=false -absint -baseline lint-baseline.json ./...
 
 ## fmt-check: fail if any tracked Go file is not gofmt-clean.
 fmt-check:

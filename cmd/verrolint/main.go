@@ -3,11 +3,14 @@
 // enforce determinism, privacy-math, and error-handling invariants, plus
 // the dataflow analyzers (internal/lint/flow) that prove raw object data
 // never reaches a published artifact unsanitized, privacy parameters come
-// from validated configs, and worker-pool closures stay race-free.
+// from validated configs, and worker-pool closures stay race-free, plus —
+// behind -absint — the interval abstract interpreters (internal/lint/absint)
+// that prove numeric invariants by value: probabilities in [0,1], ε ≥ 0,
+// nonzero divisors, in-bounds kernel indexing.
 //
 // Usage:
 //
-//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-baseline file] [pattern ...]
+//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-baseline file] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
 // ("./..." is the default). The flow analyzers see every matched package as
@@ -31,6 +34,7 @@ import (
 	"strings"
 
 	"verro/internal/lint"
+	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
 )
 
@@ -56,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fl.Bool("list", false, "list the analyzers and their invariants, then exit")
 	classic := fl.Bool("classic", true, "run the classic single-expression analyzers")
 	flowOn := fl.Bool("flow", true, "run the dataflow analyzers (privleak, epsconsist, capturerace)")
+	absintOn := fl.Bool("absint", false, "run the interval analyzers (probrange, divzero, idxbound)")
 	baseline := fl.String("baseline", "", "JSON baseline file (a prior -json run); only diagnostics not in it fail")
 	if err := fl.Parse(args); err != nil {
 		return 2
@@ -63,11 +68,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	analyzers := lint.ProjectAnalyzers()
 	flowAnalyzers := flow.ProjectAnalyzers()
+	absintAnalyzers := absint.ProjectAnalyzers()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		for _, a := range flowAnalyzers {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range absintAnalyzers {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		return 0
@@ -111,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *flowOn {
 		diags = append(diags, flow.Run(pkgs, flowAnalyzers...)...)
+	}
+	if *absintOn {
+		diags = append(diags, absint.Run(pkgs, absintAnalyzers...)...)
 	}
 	lint.Sort(diags)
 

@@ -24,6 +24,9 @@ func main() {
 		log.Fatal(err)
 	}
 	m := g.Video.Len()
+	if m == 0 {
+		log.Fatal("benchmark video has no frames")
+	}
 	orig := g.Truth.CountSeries(m)
 	fmt.Printf("video: %v, %d pedestrians\n", g.Video, g.Truth.Len())
 

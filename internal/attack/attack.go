@@ -75,7 +75,9 @@ func ExtractKnowledge(v *vid.Video, t *motio.Track) (*Knowledge, error) {
 	for _, c := range centers {
 		sum = sum.Add(c)
 	}
-	k.MeanPos = sum.Scale(1 / float64(len(centers)))
+	if len(centers) > 0 {
+		k.MeanPos = sum.Scale(1 / float64(len(centers)))
+	}
 	if len(centers) >= 2 {
 		d := centers[len(centers)-1].Sub(centers[0])
 		if n := d.Norm(); n > 1e-9 {
@@ -113,6 +115,9 @@ func Rank(k *Knowledge, sanitized *vid.Video, candidates *motio.TrackSet, w Weig
 		return nil, errors.New("attack: nil knowledge")
 	}
 	sceneDiag := math.Hypot(float64(sanitized.W), float64(sanitized.H))
+	if sceneDiag < 1 {
+		sceneDiag = 1 // degenerate sub-pixel frame: keep the ratio finite
+	}
 	var out []Candidate
 	for _, t := range candidates.Tracks {
 		if t.Len() == 0 {
@@ -140,7 +145,10 @@ func Rank(k *Knowledge, sanitized *vid.Video, candidates *motio.TrackSet, w Weig
 		for _, p := range centers {
 			sum = sum.Add(p)
 		}
-		mean := sum.Scale(1 / float64(len(centers)))
+		var mean geom.Vec
+		if len(centers) > 0 {
+			mean = sum.Scale(1 / float64(len(centers)))
+		}
 		c.Spatial = 1 - math.Min(1, mean.Dist(k.MeanPos)/(sceneDiag/2))
 
 		// Heading agreement.
@@ -217,8 +225,8 @@ func Reidentify(original *vid.Video, originalTracks *motio.TrackSet,
 	correct func(origIdx, candID int) bool, w Weights) (Result, error) {
 
 	res := Result{}
-	if candidates.Len() > 0 {
-		res.RandomBaseline = 1 / float64(candidates.Len())
+	if n := candidates.Len(); n > 0 {
+		res.RandomBaseline = 1 / float64(n)
 	}
 	for i, t := range originalTracks.Tracks {
 		if t.Len() == 0 {

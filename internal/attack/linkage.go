@@ -88,7 +88,10 @@ func LinkAcrossCameras(videoA *vid.Video, tracksA *motio.TrackSet,
 	if err != nil {
 		return LinkageResult{}, err
 	}
-	res := LinkageResult{Pairs: len(featsA), Random: 1 / float64(len(featsB))}
+	res := LinkageResult{Pairs: len(featsA)}
+	if len(featsB) > 0 {
+		res.Random = 1 / float64(len(featsB))
+	}
 	correct := 0
 	for i, j := range rowToCol {
 		if j >= 0 && idxA[i] == idxB[j] {

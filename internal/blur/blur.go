@@ -104,10 +104,17 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*vid.Video, err
 // boxBlur applies one pass of a (2r+1)² box blur inside region b, sampling
 // from a snapshot so the blur is unbiased.
 func boxBlur(m *img.Image, b geom.Rect, r int) {
+	if r < 0 {
+		return
+	}
+	// The kernel covers (2r+1)² samples regardless of clamping, so the
+	// divisor is loop-invariant (and provably positive for r ≥ 0).
+	side := 2*r + 1
+	n := side * side
 	src := m.SubImage(b.Clip(m.Bounds()))
 	for y := b.Min.Y; y < b.Max.Y; y++ {
 		for x := b.Min.X; x < b.Max.X; x++ {
-			var sr, sg, sb, n int
+			var sr, sg, sb int
 			for dy := -r; dy <= r; dy++ {
 				for dx := -r; dx <= r; dx++ {
 					// Sample from the snapshot, clamped to the region.
@@ -117,7 +124,6 @@ func boxBlur(m *img.Image, b geom.Rect, r int) {
 					sr += int(c.R)
 					sg += int(c.G)
 					sb += int(c.B)
-					n++
 				}
 			}
 			m.Set(x, y, img.RGB{R: uint8(sr / n), G: uint8(sg / n), B: uint8(sb / n)})

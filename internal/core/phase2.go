@@ -165,14 +165,15 @@ func drawCoordinates(who []int, pool []geom.Vec, lastPos []geom.Vec, hasLast []b
 // pickedSpacing returns the typical frame distance between consecutive
 // picked key frames (at least 1).
 func pickedSpacing(p1 *Phase1Result, numFrames int) int {
-	if len(p1.Picked) <= 1 {
+	picked := p1.Picked
+	if len(picked) <= 1 {
 		if numFrames < 1 {
 			return 1
 		}
 		return numFrames
 	}
-	span := p1.KeyFrames[p1.Picked[len(p1.Picked)-1]] - p1.KeyFrames[p1.Picked[0]]
-	s := span / (len(p1.Picked) - 1)
+	span := p1.KeyFrames[picked[len(picked)-1]] - p1.KeyFrames[picked[0]]
+	s := span / (len(picked) - 1)
 	if s < 1 {
 		s = 1
 	}

@@ -108,7 +108,7 @@ func (b *BGSubtractor) Detect(frame *img.Image) ([]Detection, error) {
 				}
 			}
 		}
-		if area < b.MinArea {
+		if area == 0 || area < b.MinArea {
 			continue
 		}
 		box := geom.R(minX, minY, maxX+1, maxY+1)

@@ -20,7 +20,7 @@ func ToHSV(c RGB) HSV {
 
 	var h float64
 	switch {
-	case delta == 0:
+	case delta <= 0: // == 0 in exact arithmetic; <= lets interval analysis prove delta > 0 below
 		h = 0
 	case maxc == r:
 		h = 60 * math.Mod((g-b)/delta, 6)

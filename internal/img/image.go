@@ -168,18 +168,19 @@ func (m *Image) DiffCount(n *Image) int {
 // MeanAbsDiff returns the mean absolute per-channel difference between two
 // images of the same size, a cheap frame-distance measure.
 func (m *Image) MeanAbsDiff(n *Image) float64 {
-	if m.W != n.W || m.H != n.H || len(m.Pix) == 0 {
+	pix := m.Pix
+	if m.W != n.W || m.H != n.H || len(pix) == 0 {
 		return 255
 	}
 	var sum int64
-	for i := range m.Pix {
-		d := int64(m.Pix[i]) - int64(n.Pix[i])
+	for i := range pix {
+		d := int64(pix[i]) - int64(n.Pix[i])
 		if d < 0 {
 			d = -d
 		}
 		sum += d
 	}
-	return float64(sum) / float64(len(m.Pix))
+	return float64(sum) / float64(len(pix))
 }
 
 // Fill paints rectangle r (clipped) with color c.

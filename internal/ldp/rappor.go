@@ -69,7 +69,7 @@ func (c RapporConfig) BloomEncode(value string) (BitVector, error) {
 	for i := 0; i < c.Hashes; i++ {
 		h := fnv.New64a()
 		fmt.Fprintf(h, "%d:%s", i, value)
-		b[int(h.Sum64()%uint64(c.Bits))] = true
+		b[int(h.Sum64()%uint64(c.Bits))] = true //lint:allow divzero Validate() above rejects Bits < 1; the config field itself is opaque to the interval domain
 	}
 	return b, nil
 }

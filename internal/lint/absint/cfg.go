@@ -1,0 +1,430 @@
+package absint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The CFG lowering: every function body becomes a list of basic blocks
+// holding only straight-line statements (assignments, declarations,
+// expression statements, inc/dec, go/defer); control flow — if, for,
+// range, switch, select, return, break/continue/goto — becomes edges. The
+// interpreter never sees a control statement; it executes block bodies
+// and applies edge refinements. Goroutine bodies contribute no edges (a
+// `go` statement's call is checked where it appears, but its execution is
+// not sequenced into the CFG).
+
+// edgeKind distinguishes how an edge constrains the target state.
+type edgeKind int
+
+const (
+	edgePlain     edgeKind = iota
+	edgeCondTrue           // taken when cond is true: refine with cond
+	edgeCondFalse          // taken when cond is false: refine with ¬cond
+	edgeCase               // switch case match: tag ∈ join(vals)
+	edgeRangeBody          // entering a range body: bind key/value
+)
+
+// edge is one CFG arc with its refinement payload.
+type edge struct {
+	to   *block
+	kind edgeKind
+	cond ast.Expr       // edgeCondTrue / edgeCondFalse
+	tag  ast.Expr       // edgeCase (nil for tagless switch)
+	vals []ast.Expr     // edgeCase
+	rng  *ast.RangeStmt // edgeRangeBody
+}
+
+// block is one basic block.
+type block struct {
+	id    int
+	stmts []ast.Stmt
+	// ret, when non-nil, terminates the function through this block.
+	ret *ast.ReturnStmt
+	// cond, when non-nil, is evaluated after stmts; succs then carry
+	// edgeCondTrue/edgeCondFalse refinements on it.
+	cond  ast.Expr
+	succs []edge
+}
+
+// cfg is one lowered function body.
+type cfg struct {
+	blocks []*block
+	entry  *block
+}
+
+// loopFrame tracks the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label          string
+	breakTarget    *block
+	continueTarget *block // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	blocks []*block
+	frames []loopFrame
+	// labels maps label names to started blocks for goto resolution.
+	labels map[string]*block
+	// gotos records unresolved goto edges (source block, label).
+	gotos []pendingGoto
+	// pendingLabel is attached to the next loop/switch frame pushed.
+	pendingLabel string
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	bl := &block{id: len(b.blocks)}
+	b.blocks = append(b.blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) link(from, to *block, e edge) {
+	e.to = to
+	from.succs = append(from.succs, e)
+}
+
+// buildCFG lowers the body of a function (or function literal).
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{labels: map[string]*block{}}
+	entry := b.newBlock()
+	last := b.stmtList(body.List, entry)
+	_ = last // falling off the end returns with zero results; no edge needed
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.link(g.from, target, edge{})
+		}
+	}
+	return &cfg{blocks: b.blocks, entry: entry}
+}
+
+// stmtList lowers a statement sequence starting in cur, returning the
+// block where control continues (nil when the sequence cannot fall
+// through).
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *block) *block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable statements after return/break; lower them into a
+			// fresh block with no predecessors so the interpreter records
+			// them as dead rather than silently skipping.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.cond = s.Cond
+		thenB := b.newBlock()
+		b.link(cur, thenB, edge{kind: edgeCondTrue, cond: s.Cond})
+		thenEnd := b.stmtList(s.Body.List, thenB)
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.link(cur, elseB, edge{kind: edgeCondFalse, cond: s.Cond})
+			if elseEnd := b.stmt(s.Else, elseB); elseEnd != nil {
+				b.link(elseEnd, join, edge{})
+			}
+		} else {
+			b.link(cur, join, edge{kind: edgeCondFalse, cond: s.Cond})
+		}
+		if thenEnd != nil {
+			b.link(thenEnd, join, edge{})
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := b.newBlock()
+		b.link(cur, head, edge{})
+		exit := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		if s.Cond != nil {
+			head.cond = s.Cond
+			b.link(head, body, edge{kind: edgeCondTrue, cond: s.Cond})
+			b.link(head, exit, edge{kind: edgeCondFalse, cond: s.Cond})
+		} else {
+			b.link(head, body, edge{})
+		}
+		b.pushFrame(exit, post)
+		bodyEnd := b.stmtList(s.Body.List, body)
+		b.popFrame()
+		if bodyEnd != nil {
+			b.link(bodyEnd, post, edge{})
+		}
+		if s.Post != nil {
+			post.stmts = append(post.stmts, s.Post)
+		}
+		b.link(post, head, edge{})
+		return exit
+
+	case *ast.RangeStmt:
+		// Evaluate the range container once on entry so hooks see it.
+		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.X})
+		head := b.newBlock()
+		b.link(cur, head, edge{})
+		exit := b.newBlock()
+		body := b.newBlock()
+		b.link(head, body, edge{kind: edgeRangeBody, rng: s})
+		b.link(head, exit, edge{})
+		b.pushFrame(exit, head)
+		if bodyEnd := b.stmtList(s.Body.List, body); bodyEnd != nil {
+			b.link(bodyEnd, head, edge{})
+		}
+		b.popFrame()
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		exit := b.newBlock()
+		b.pushSwitchFrame(exit)
+		var caseBodies []*block
+		var hasDefault bool
+		for range s.Body.List {
+			caseBodies = append(caseBodies, b.newBlock())
+		}
+		// A tagless switch is an if/else-if chain: each case's dispatch
+		// block carries the accumulated negations of the cases before it,
+		// so `case delta == 0: ...; case maxc == r: x / delta` sees
+		// delta != 0 in the later bodies.
+		defaultIdx := -1
+		dispatch := cur
+		for i, cc := range s.Body.List {
+			cc := cc.(*ast.CaseClause)
+			switch {
+			case cc.List == nil:
+				hasDefault = true
+				defaultIdx = i
+				if s.Tag != nil {
+					b.link(cur, caseBodies[i], edge{})
+				}
+			case s.Tag != nil:
+				b.link(cur, caseBodies[i], edge{kind: edgeCase, tag: s.Tag, vals: cc.List})
+			case len(cc.List) == 1:
+				dispatch.stmts = append(dispatch.stmts, &ast.ExprStmt{X: cc.List[0]})
+				next := b.newBlock()
+				b.link(dispatch, caseBodies[i], edge{kind: edgeCondTrue, cond: cc.List[0]})
+				b.link(dispatch, next, edge{kind: edgeCondFalse, cond: cc.List[0]})
+				dispatch = next
+			default:
+				// Multiple boolean expressions in one case: their
+				// disjunction (and its negation) is not tracked.
+				for _, v := range cc.List {
+					dispatch.stmts = append(dispatch.stmts, &ast.ExprStmt{X: v})
+				}
+				next := b.newBlock()
+				b.link(dispatch, caseBodies[i], edge{})
+				b.link(dispatch, next, edge{})
+				dispatch = next
+			}
+			end := b.stmtListFallthrough(cc.Body, caseBodies[i], caseBodies, i)
+			if end != nil {
+				b.link(end, exit, edge{})
+			}
+		}
+		b.popFrame()
+		if s.Tag == nil {
+			// End of the chain: every case condition was false.
+			if defaultIdx >= 0 {
+				b.link(dispatch, caseBodies[defaultIdx], edge{})
+			} else {
+				b.link(dispatch, exit, edge{})
+			}
+		} else if !hasDefault {
+			b.link(cur, exit, edge{})
+		}
+		return exit
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		exit := b.newBlock()
+		b.pushSwitchFrame(exit)
+		hasDefault := false
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			body := b.newBlock()
+			b.link(cur, body, edge{})
+			if end := b.stmtList(cc.Body, body); end != nil {
+				b.link(end, exit, edge{})
+			}
+		}
+		b.popFrame()
+		if !hasDefault {
+			b.link(cur, exit, edge{})
+		}
+		return exit
+
+	case *ast.SelectStmt:
+		exit := b.newBlock()
+		b.pushSwitchFrame(exit)
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CommClause)
+			body := b.newBlock()
+			b.link(cur, body, edge{})
+			if cc.Comm != nil {
+				body.stmts = append(body.stmts, cc.Comm)
+			}
+			if end := b.stmtList(cc.Body, body); end != nil {
+				b.link(end, exit, edge{})
+			}
+		}
+		b.popFrame()
+		return exit
+
+	case *ast.ReturnStmt:
+		cur.ret = s
+		return nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findBreak(label); t != nil {
+				b.link(cur, t, edge{})
+			}
+			return nil
+		case token.CONTINUE:
+			if t := b.findContinue(label); t != nil {
+				b.link(cur, t, edge{})
+			}
+			return nil
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: cur, label: label})
+			return nil
+		case token.FALLTHROUGH:
+			// Handled by stmtListFallthrough; reaching here means a
+			// fallthrough outside a switch body list — drop it.
+			return nil
+		}
+		return cur
+
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.link(cur, target, edge{})
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, target)
+		b.pendingLabel = ""
+		return out
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Straight-line statement: assign, decl, inc/dec, expr, send,
+		// go, defer.
+		cur.stmts = append(cur.stmts, s)
+		// A statement that provably never returns (panic, os.Exit) ends
+		// the block with no fallthrough, so guards like
+		// `if n == 0 { panic(...) }` refine the code below them.
+		if es, ok := s.(*ast.ExprStmt); ok && isNoReturnCall(es.X) {
+			return nil
+		}
+		return cur
+	}
+}
+
+// stmtListFallthrough lowers a case body, wiring a trailing fallthrough to
+// the next case's body block.
+func (b *cfgBuilder) stmtListFallthrough(list []ast.Stmt, cur *block, bodies []*block, i int) *block {
+	if n := len(list); n > 0 {
+		if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+			end := b.stmtList(list[:n-1], cur)
+			if end != nil && i+1 < len(bodies) {
+				b.link(end, bodies[i+1], edge{})
+			}
+			return nil
+		}
+	}
+	return b.stmtList(list, cur)
+}
+
+// isNoReturnCall recognizes calls that terminate the goroutine: panic and
+// os.Exit. (log.Fatal would qualify too; the repo's lint rules forbid it
+// in pipeline code.)
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			switch id.Name {
+			case "os":
+				return fun.Sel.Name == "Exit"
+			case "log":
+				switch fun.Sel.Name {
+				case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) pushFrame(breakT, contT *block) {
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTarget: breakT, continueTarget: contT})
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) pushSwitchFrame(breakT *block) {
+	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTarget: breakT})
+	b.pendingLabel = ""
+}
+
+func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+
+func (b *cfgBuilder) findBreak(label string) *block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label == "" || f.label == label {
+			return f.breakTarget
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) findContinue(label string) *block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if f.continueTarget == nil {
+			continue // switch/select frames are transparent to continue
+		}
+		if label == "" || f.label == label {
+			return f.continueTarget
+		}
+	}
+	return nil
+}

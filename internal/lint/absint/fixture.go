@@ -1,0 +1,35 @@
+package absint
+
+import (
+	"testing"
+
+	"verro/internal/lint"
+)
+
+// CheckFixture loads the fixture directories as one program, runs the
+// interval analyzers over it, and returns one problem per mismatch
+// against the fixtures' `// want` comments. Multiple directories form one
+// program so a fixture can prove cross-package summary propagation.
+func CheckFixture(l *lint.Loader, dirs []string, analyzers ...*Analyzer) (problems []string, err error) {
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return lint.CheckDiagnostics(pkgs, Run(pkgs, analyzers...))
+}
+
+// RunFixture is the testing wrapper around CheckFixture.
+func RunFixture(t *testing.T, dirs []string, analyzers ...*Analyzer) {
+	t.Helper()
+	problems, err := CheckFixture(lint.NewLoader(), dirs, analyzers...)
+	if err != nil {
+		t.Fatalf("fixture %v: %v", dirs, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %v: %s", dirs, p)
+	}
+}

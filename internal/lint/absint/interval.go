@@ -1,0 +1,305 @@
+// Package absint is verrolint's value layer: a forward abstract
+// interpretation over an interval lattice that proves numeric invariants
+// the classic analyzers (§2d) and the taint engine (§2e) can only
+// approximate by provenance — flip and keep probabilities stay in [0,1],
+// ε budgets stay nonnegative, divisors exclude zero, and kernel indexing
+// stays inside [0, len). Each function body is lowered to a basic-block
+// CFG, interpreted with widening and a narrowing pass, and refined along
+// branch conditions (including len() facts); per-function result
+// summaries are iterated to a whole-program fixpoint exactly like the
+// flow engine's taint summaries. See DESIGN.md §2f.
+package absint
+
+import (
+	"math"
+	"strconv"
+)
+
+// Interval is one lattice value: the closed range [Lo, Hi] with ±Inf
+// bounds. Lo > Hi encodes bottom (no possible value — unreachable code or
+// an infeasible branch). The zero value is bottom.
+type Interval struct {
+	Lo, Hi float64
+}
+
+var (
+	inf = math.Inf(1)
+	// top is the unknown value.
+	top = Interval{-inf, inf}
+	// bottomIv is the canonical empty interval.
+	bottomIv = Interval{inf, -inf}
+)
+
+// point is the singleton interval [v, v].
+func point(v float64) Interval { return Interval{v, v} }
+
+// mk builds an interval, normalizing NaN bounds to the unbounded side so a
+// NaN produced by bound arithmetic (0·∞, ∞−∞) degrades to "unknown" rather
+// than poisoning comparisons.
+func mk(lo, hi float64) Interval {
+	if math.IsNaN(lo) {
+		lo = -inf
+	}
+	if math.IsNaN(hi) {
+		hi = inf
+	}
+	return Interval{lo, hi}
+}
+
+// IsBottom reports whether the interval is empty.
+func (iv Interval) IsBottom() bool { return iv.Lo > iv.Hi }
+
+// IsTop reports whether the interval carries no information.
+func (iv Interval) IsTop() bool { return math.IsInf(iv.Lo, -1) && math.IsInf(iv.Hi, 1) }
+
+// In reports whether the interval is entirely inside [lo, hi].
+func (iv Interval) In(lo, hi float64) bool {
+	return !iv.IsBottom() && iv.Lo >= lo && iv.Hi <= hi
+}
+
+// Contains reports whether v may be a value of the interval.
+func (iv Interval) Contains(v float64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// Eq reports exact equality (bottom equals bottom).
+func (iv Interval) Eq(o Interval) bool {
+	if iv.IsBottom() || o.IsBottom() {
+		return iv.IsBottom() == o.IsBottom()
+	}
+	return iv.Lo == o.Lo && iv.Hi == o.Hi
+}
+
+// Join is the lattice join: the smallest interval containing both.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsBottom() {
+		return o
+	}
+	if o.IsBottom() {
+		return iv
+	}
+	return Interval{math.Min(iv.Lo, o.Lo), math.Max(iv.Hi, o.Hi)}
+}
+
+// Meet is the lattice meet: the intersection.
+func (iv Interval) Meet(o Interval) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	return Interval{math.Max(iv.Lo, o.Lo), math.Min(iv.Hi, o.Hi)}
+}
+
+// widenThresholds are the landing points bounds jump to during widening
+// before giving up to ±Inf. 0 and 1 keep probability facts provable
+// through loops; -1 and 255 keep index and pixel bounds.
+var widenThresholds = []float64{-1, 0, 1, 255}
+
+// Widen extrapolates an unstable bound: a bound that moved since old jumps
+// to the nearest enclosing threshold, then to infinity. Guarantees every
+// ascending chain stabilizes in a handful of steps.
+func (iv Interval) Widen(next Interval) Interval {
+	if iv.IsBottom() {
+		return next
+	}
+	if next.IsBottom() {
+		return iv
+	}
+	out := Interval{iv.Lo, iv.Hi}
+	if next.Lo < iv.Lo {
+		out.Lo = -inf
+		for i := len(widenThresholds) - 1; i >= 0; i-- {
+			if widenThresholds[i] <= next.Lo {
+				out.Lo = widenThresholds[i]
+				break
+			}
+		}
+	}
+	if next.Hi > iv.Hi {
+		out.Hi = inf
+		for _, t := range widenThresholds {
+			if t >= next.Hi {
+				out.Hi = t
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Narrow refines a widened bound: an infinite bound of iv is replaced by
+// next's (the recomputed, tighter) bound. Finite bounds are kept — one
+// narrowing pass must not oscillate.
+func (iv Interval) Narrow(next Interval) Interval {
+	if iv.IsBottom() || next.IsBottom() {
+		return iv
+	}
+	out := iv
+	if math.IsInf(out.Lo, -1) {
+		out.Lo = next.Lo
+	}
+	if math.IsInf(out.Hi, 1) {
+		out.Hi = next.Hi
+	}
+	if out.IsBottom() {
+		return iv
+	}
+	return out
+}
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	return mk(iv.Lo+o.Lo, iv.Hi+o.Hi)
+}
+
+// Sub returns the interval difference.
+func (iv Interval) Sub(o Interval) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	return mk(iv.Lo-o.Hi, iv.Hi-o.Lo)
+}
+
+// Neg returns the interval negation.
+func (iv Interval) Neg() Interval {
+	if iv.IsBottom() {
+		return bottomIv
+	}
+	return Interval{-iv.Hi, -iv.Lo}
+}
+
+// mulBound multiplies two bounds with the interval convention 0·±∞ = 0: an
+// infinite bound stands for "arbitrarily large finite", and zero times any
+// finite value is zero.
+func mulBound(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+// Mul returns the interval product.
+func (iv Interval) Mul(o Interval) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	p1 := mulBound(iv.Lo, o.Lo)
+	p2 := mulBound(iv.Lo, o.Hi)
+	p3 := mulBound(iv.Hi, o.Lo)
+	p4 := mulBound(iv.Hi, o.Hi)
+	return mk(math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		math.Max(math.Max(p1, p2), math.Max(p3, p4)))
+}
+
+// Div returns the interval quotient. A divisor interval containing zero
+// yields top — the divzero analyzer reports that case separately; the
+// value analysis keeps going conservatively. integer requests Go's
+// truncating integer division on the result bounds.
+func (iv Interval) Div(o Interval, integer bool) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	if o.Contains(0) {
+		return top
+	}
+	// Invert the divisor: both bounds share a sign, so 1/[c,d] = [1/d, 1/c]
+	// with 1/±Inf = 0.
+	invLo, invHi := 1/o.Hi, 1/o.Lo
+	out := iv.Mul(mk(invLo, invHi))
+	if integer {
+		// Go integer division truncates toward zero; trunc is monotone, so
+		// mapping both bounds through it contains every quotient.
+		out = mk(math.Trunc(out.Lo), math.Trunc(out.Hi))
+	}
+	return out
+}
+
+// Rem returns the interval of Go's integer remainder x % y: the result has
+// the dividend's sign and magnitude strictly below max|y|.
+func (iv Interval) Rem(o Interval) Interval {
+	if iv.IsBottom() || o.IsBottom() {
+		return bottomIv
+	}
+	m := math.Max(math.Abs(o.Lo), math.Abs(o.Hi))
+	if !math.IsInf(m, 1) {
+		m--
+	}
+	// The remainder magnitude is bounded by both max|y|-1 and the
+	// dividend's own magnitude, and the sign follows the dividend.
+	bound := math.Min(m, math.Max(math.Abs(iv.Lo), math.Abs(iv.Hi)))
+	lo, hi := -bound, bound
+	if iv.Lo >= 0 {
+		lo = 0
+	}
+	if iv.Hi <= 0 {
+		hi = 0
+	}
+	return mk(lo, hi)
+}
+
+// minIv and maxIv fold the pointwise min/max of two intervals (the
+// contracts of math.Min/math.Max and the min/max builtins).
+func minIv(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return bottomIv
+	}
+	return Interval{math.Min(a.Lo, b.Lo), math.Min(a.Hi, b.Hi)}
+}
+
+func maxIv(a, b Interval) Interval {
+	if a.IsBottom() || b.IsBottom() {
+		return bottomIv
+	}
+	return Interval{math.Max(a.Lo, b.Lo), math.Max(a.Hi, b.Hi)}
+}
+
+// absIv is the contract of math.Abs and integer absolute-value helpers.
+func absIv(a Interval) Interval {
+	if a.IsBottom() {
+		return bottomIv
+	}
+	if a.Lo >= 0 {
+		return a
+	}
+	if a.Hi <= 0 {
+		return a.Neg()
+	}
+	return Interval{0, math.Max(-a.Lo, a.Hi)}
+}
+
+// integralize shrinks the bounds of an integer-typed interval to whole
+// numbers (ceil on the low side, floor on the high side). Values produced
+// by pure integer arithmetic are already integral; this guards mixed
+// derivations.
+func (iv Interval) integralize() Interval {
+	if iv.IsBottom() {
+		return iv
+	}
+	out := Interval{math.Ceil(iv.Lo), math.Floor(iv.Hi)}
+	if out.IsBottom() {
+		return bottomIv
+	}
+	return out
+}
+
+// String renders the interval for diagnostics: "[0, 1]", "[2, +inf]",
+// "bottom".
+func (iv Interval) String() string {
+	if iv.IsBottom() {
+		return "bottom"
+	}
+	return "[" + fmtBound(iv.Lo) + ", " + fmtBound(iv.Hi) + "]"
+}
+
+func fmtBound(v float64) string {
+	switch {
+	case math.IsInf(v, -1):
+		return "-inf"
+	case math.IsInf(v, 1):
+		return "+inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,153 @@
+package absint
+
+import (
+	"math"
+	"testing"
+)
+
+func iv(lo, hi float64) Interval { return Interval{lo, hi} }
+
+func TestIntervalLatticeOps(t *testing.T) {
+	cases := []struct {
+		name      string
+		got, want Interval
+	}{
+		{"join overlap", iv(0, 2).Join(iv(1, 3)), iv(0, 3)},
+		{"join disjoint", iv(0, 1).Join(iv(5, 6)), iv(0, 6)},
+		{"join bottom left", bottomIv.Join(iv(1, 2)), iv(1, 2)},
+		{"meet overlap", iv(0, 2).Meet(iv(1, 3)), iv(1, 2)},
+		{"meet point", iv(0, 1).Meet(iv(1, 2)), iv(1, 1)},
+		{"add", iv(1, 2).Add(iv(10, 20)), iv(11, 22)},
+		{"sub", iv(1, 2).Sub(iv(10, 20)), iv(-19, -8)},
+		{"neg", iv(-1, 3).Neg(), iv(-3, 1)},
+		{"mul signs", iv(-2, 3).Mul(iv(-5, 4)), iv(-15, 12)},
+		{"mul zero inf", iv(0, 0).Mul(top), iv(0, 0)},
+		{"div positive", iv(4, 8).Div(iv(2, 4), false), iv(1, 4)},
+		{"div negative", iv(4, 8).Div(iv(-4, -2), false), iv(-4, -1)},
+		{"div through zero", iv(1, 2).Div(iv(-1, 1), false), top},
+		{"div integer trunc", iv(1, 7).Div(iv(2, 2), true), iv(0, 3)},
+		{"rem nonneg", iv(0, 100).Rem(iv(5, 5)), iv(0, 4)},
+		{"rem small dividend", iv(0, 2).Rem(iv(10, 10)), iv(0, 2)},
+		{"rem sign follows dividend", iv(-7, -1).Rem(iv(3, 3)), iv(-2, 0)},
+		{"abs straddling", absIv(iv(-3, 2)), iv(0, 3)},
+		{"min fold", minIv(iv(0, 5), iv(2, 3)), iv(0, 3)},
+		{"max fold", maxIv(iv(0, 5), iv(2, 3)), iv(2, 5)},
+		{"integralize", iv(0.5, 2.5).integralize(), iv(1, 2)},
+	}
+	for _, c := range cases {
+		if !c.got.Eq(c.want) {
+			t.Errorf("%s: got %s, want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestMeetInfeasible checks that contradictory facts produce bottom — the
+// signal refine() uses to mark a branch unreachable.
+func TestMeetInfeasible(t *testing.T) {
+	if got := iv(0, 1).Meet(iv(2, 3)); !got.IsBottom() {
+		t.Errorf("meet of disjoint intervals = %s, want bottom", got)
+	}
+}
+
+// TestWidenStabilizes checks the core termination property: repeated
+// widening of any growing chain reaches a fixpoint within a few steps.
+func TestWidenStabilizes(t *testing.T) {
+	cur := iv(0, 0)
+	grow := func(x Interval) Interval { return x.Add(iv(0, 1)) }
+	for step := 0; step < 16; step++ {
+		next := cur.Join(grow(cur))
+		widened := cur.Widen(next)
+		if widened.Eq(cur) {
+			return // stabilized
+		}
+		cur = widened
+	}
+	t.Fatalf("widening did not stabilize; final interval %s", cur)
+}
+
+// TestWidenThresholds checks that the probability-relevant landing points
+// survive widening: a bound creeping past 1 must stop at a threshold or
+// infinity, never oscillate.
+func TestWidenThresholds(t *testing.T) {
+	got := iv(0, 0.5).Widen(iv(0, 0.9))
+	if !got.Eq(iv(0, 1)) {
+		t.Errorf("widen [0,0.5]→[0,0.9] = %s, want [0, 1] (threshold)", got)
+	}
+	got = iv(0, 1).Widen(iv(0, 300))
+	if !got.Eq(iv(0, math.Inf(1))) {
+		t.Errorf("widen [0,1]→[0,300] = %s, want [0, +inf]", got)
+	}
+	got = iv(0, 5).Widen(iv(-2, 5))
+	if !got.Eq(iv(-inf, 5)) {
+		t.Errorf("widen low bound = %s, want [-inf, 5]", got)
+	}
+}
+
+// TestNarrowRecoversFiniteBounds checks narrowing replaces only infinite
+// bounds, so one descending pass cannot oscillate.
+func TestNarrowRecoversFiniteBounds(t *testing.T) {
+	widened := iv(0, math.Inf(1))
+	recomputed := iv(0, 10)
+	if got := widened.Narrow(recomputed); !got.Eq(iv(0, 10)) {
+		t.Errorf("narrow = %s, want [0, 10]", got)
+	}
+	// A finite bound is kept even if the recomputation is tighter.
+	if got := iv(0, 10).Narrow(iv(2, 5)); !got.Eq(iv(0, 10)) {
+		t.Errorf("narrow of finite interval = %s, want unchanged [0, 10]", got)
+	}
+}
+
+// TestIntervalSoundness enumerates small concrete operand sets and checks
+// every concrete result lands inside the abstract result — the soundness
+// obligation of the transfer functions.
+func TestIntervalSoundness(t *testing.T) {
+	vals := []float64{-3, -1, 0, 1, 2, 5}
+	bounds := []Interval{iv(-3, -1), iv(-1, 1), iv(0, 2), iv(1, 5), iv(-3, 5)}
+	inIv := func(x float64, b Interval) bool { return b.Lo <= x && x <= b.Hi }
+	for _, xs := range bounds {
+		for _, ys := range bounds {
+			for _, x := range vals {
+				if !inIv(x, xs) {
+					continue
+				}
+				for _, y := range vals {
+					if !inIv(y, ys) {
+						continue
+					}
+					check := func(name string, concrete float64, abs Interval) {
+						if !abs.Contains(concrete) {
+							t.Errorf("%s: %v op %v = %v not in %s ⊇ %s op %s",
+								name, x, y, concrete, abs, xs, ys)
+						}
+					}
+					check("add", x+y, xs.Add(ys))
+					check("sub", x-y, xs.Sub(ys))
+					check("mul", x*y, xs.Mul(ys))
+					if y != 0 {
+						check("div", x/y, xs.Div(ys, false))
+						xi, yi := int(x), int(y)
+						check("quo", float64(xi/yi), xs.Div(ys, true))
+						check("rem", float64(xi%yi), xs.Rem(ys))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		in   Interval
+		want string
+	}{
+		{iv(0, 1), "[0, 1]"},
+		{top, "[-inf, +inf]"},
+		{bottomIv, "bottom"},
+		{iv(0.25, 2), "[0.25, 2]"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

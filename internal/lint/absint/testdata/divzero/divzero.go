@@ -1,0 +1,48 @@
+// Package divzero exercises the divzero interval analyzer: divisors must
+// provably exclude zero.
+package divzero
+
+func provablyZero(x int) int {
+	z := 0
+	return x / z // want "integer division or modulo by a divisor that is provably zero"
+}
+
+func unguardedMean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)) // want "division by a divisor whose interval \[0, \+inf\] contains zero"
+}
+
+// guardedMean is clean: the early return leaves len(xs) ∈ [1, +inf].
+func guardedMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func moduloRange(i, n int) int {
+	if n >= 0 && n < 8 {
+		return i % n // want "integer division or modulo by a divisor whose interval \[0, 7\] contains zero"
+	}
+	return 0
+}
+
+// positiveModulo is clean: the guard proves n ≥ 1.
+func positiveModulo(i, n int) int {
+	if n > 0 {
+		return i % n
+	}
+	return 0
+}
+
+// unknownDivisor is clean by design: a top divisor carries no evidence.
+func unknownDivisor(x, y float64) float64 {
+	return x / y
+}

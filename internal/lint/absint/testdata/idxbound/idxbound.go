@@ -1,0 +1,55 @@
+// Package idxbound exercises the idxbound interval analyzer: indexing
+// must stay provably inside [0, len) given branch-refined facts.
+package idxbound
+
+func provablyPast() float64 {
+	xs := make([]float64, 4)
+	return xs[5] // want "index is provably out of bounds \(interval \[5, 5\], length \[4, 4\]\)"
+}
+
+func provablyNegative(xs []float64) float64 {
+	k := -1
+	return xs[k] // want "index is provably negative \(interval \[-1, -1\]\)"
+}
+
+func mayBeNegative(xs []float64, i int) float64 {
+	j := i % 5
+	if len(xs) > 4 {
+		return xs[j] // want "index may be negative \(interval \[-4, 4\]\)"
+	}
+	return 0
+}
+
+func mayExceed(n int) float64 {
+	xs := make([]float64, 8)
+	if n >= 0 && n <= 9 {
+		return xs[n] // want "index may exceed the bound \(interval \[0, 9\], length \[8, 8\]\)"
+	}
+	return 0
+}
+
+// guarded is clean: the bounds check refines i into [0, len).
+func guarded(xs []float64, i int) float64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+// ranged is clean: a range index is within [0, len) by construction.
+func ranged(xs []float64) float64 {
+	s := 0.0
+	for i := range xs {
+		s += xs[i]
+	}
+	return s
+}
+
+// loopSum is clean: the classic i < len(xs) loop refines the index.
+func loopSum(xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+// Package probrange exercises the probrange interval analyzer: flip and
+// keep probabilities must be provably within [0, 1], ε budgets provably
+// nonnegative.
+package probrange
+
+import (
+	"math/rand"
+
+	"verro/internal/ldp"
+)
+
+func flipTooHigh(b ldp.BitVector, rng *rand.Rand) ldp.BitVector {
+	return ldp.RAPPORFlip(b, 1.5, rng) // want "f argument to RAPPORFlip is provably outside \[0, 1\]"
+}
+
+func negativeEps(b ldp.BitVector, rng *rand.Rand) ldp.BitVector {
+	return ldp.ClassicRR(b, -0.5, rng) // want "eps argument to ClassicRR is provably negative"
+}
+
+// helperProb's summary is computed whole-program: callers see [1.2, 1.2].
+func helperProb() float64 { return 1.2 }
+
+func viaSummary(b ldp.BitVector, rng *rand.Rand) ldp.BitVector {
+	return ldp.RAPPORFlip(b, helperProb(), rng) // want "f argument to RAPPORFlip is provably outside \[0, 1\]"
+}
+
+func scaledComparison(rng *rand.Rand) bool {
+	p := rng.Float64() * 2
+	return rng.Float64() < p // want "value compared against rand.Float64\(\) may leave \[0, 1\]"
+}
+
+// guarded is clean: the branch refinement proves p ∈ [0, 1].
+func guarded(b ldp.BitVector, p float64, rng *rand.Rand) ldp.BitVector {
+	if p < 0 || p > 1 {
+		return b
+	}
+	return ldp.RAPPORFlip(b, p, rng)
+}
+
+// derived is clean: KeepProbability's native contract is [0, 1].
+func derived(eps float64, rng *rand.Rand) bool {
+	if eps < 0 {
+		return false
+	}
+	return rng.Float64() < ldp.KeepProbability(eps)
+}
+
+// unknown is clean by design: a top interval carries no evidence.
+func unknown(b ldp.BitVector, p float64, rng *rand.Rand) ldp.BitVector {
+	return ldp.RAPPORFlip(b, p, rng)
+}

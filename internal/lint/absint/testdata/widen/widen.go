@@ -1,0 +1,41 @@
+// Package widen is the widening-termination regression fixture: loops
+// whose counters grow without bound must converge (via widening) instead
+// of iterating forever, and must produce no diagnostics.
+package widen
+
+func growingCounter(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += 2
+	}
+	return s
+}
+
+func nestedGrowth(rows, cols int) int {
+	total := 0
+	for r := 0; r < rows; r++ {
+		acc := 0
+		for c := 0; c < cols; c++ {
+			acc += r * c
+		}
+		total += acc
+	}
+	return total
+}
+
+func doubling(n int) int {
+	x := 1
+	for x < n {
+		x *= 2
+	}
+	return x
+}
+
+func countdown(n int) int {
+	steps := 0
+	for n > 0 {
+		n--
+		steps++
+	}
+	return steps
+}

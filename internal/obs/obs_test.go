@@ -98,7 +98,6 @@ func TestPoolGauges(t *testing.T) {
 		for i := lo; i < hi; i++ {
 			s += i
 		}
-		_ = s
 	})
 	tr.Finish()
 	rep := tr.Report()

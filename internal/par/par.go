@@ -200,7 +200,7 @@ func (p *Pool) For(n, grain int, fn func(lo, hi int)) {
 		// over 8 workers gives size=2 and only 5 real chunks). Dispatching
 		// those empty chunks used to call fn with an inverted range.
 		size := (n + chunks - 1) / chunks
-		chunks = (n + size - 1) / size
+		chunks = (n + size - 1) / size //lint:allow divzero size = ceil(n/chunks) >= 1 because n >= 1 (relational fact outside the interval domain)
 		if chunks > 1 {
 			p.forChunks(n, size, chunks, fn)
 			return

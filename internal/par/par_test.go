@@ -183,7 +183,6 @@ func TestPoolStats(t *testing.T) {
 		for i := lo; i < hi; i++ {
 			s += i
 		}
-		_ = s
 	})
 	p.For(1, 1, func(lo, hi int) {}) // serial fast path
 	st := p.Stats()

@@ -110,9 +110,8 @@ func EvaluateTracks(truth, hypo *motio.TrackSet, numFrames int, iouThreshold flo
 			}
 			lastMatch[gtIDs[i]] = hIDs[j]
 		}
-		for j, used := range usedHypo {
+		for _, used := range usedHypo {
 			if !used {
-				_ = j
 				q.FalsePositives++
 			}
 		}

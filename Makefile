@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-flow lint-absint fmt-check test race race-par fuzz bench bench-json clean
+.PHONY: check vet build lint lint-flow lint-absint fmt-check test test-stream race race-par fuzz bench bench-json clean
 
 ## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
-## the interval analyzers (-absint), gofmt, the targeted worker-pool race
-## gate, the full race suite, and a short fuzz pass. Fails on any new lint
-## diagnostic or unformatted file.
-check: vet build lint lint-absint fmt-check race-par race fuzz
+## the interval analyzers (-absint), gofmt, the streaming equivalence and
+## memory-ceiling suite, the targeted worker-pool race gate, the full race
+## suite, and a short fuzz pass. Fails on any new lint diagnostic or
+## unformatted file.
+check: vet build lint lint-absint fmt-check test-stream race-par race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -44,14 +45,24 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+## test-stream: the bounded-memory streaming gate — batch/stream
+## bit-identity over every preset × window × worker combination, the
+## disk-to-disk file path, the end-of-stream edge cases, the fuzz seed
+## corpus, and the 4×-clip/1.3×-heap memory ceiling (stream_*_test.go plus
+## the internal/stream and internal/vid window tests).
+test-stream:
+	$(GO) test -run 'TestStream|FuzzStreamWindow' .
+	$(GO) test ./internal/stream/ ./internal/vid/
+
 race:
 	$(GO) test -race ./...
 
-## race-par: the targeted race gate — worker-pool equivalence and the scoped
-## concurrent-sanitize test under the race detector (all in parallel_test.go
-## at the repo root). A fast early failure before the full race suite.
+## race-par: the targeted race gate — worker-pool equivalence, the scoped
+## concurrent-sanitize test, and the streaming equivalence matrix (whose
+## per-window render fan-out is the newest pool user) under the race
+## detector. A fast early failure before the full race suite.
 race-par:
-	$(GO) test -race -run 'TestParallelEquivalence|TestConcurrentSanitizeScopedWorkers' .
+	$(GO) test -race -run 'TestParallelEquivalence|TestConcurrentSanitizeScopedWorkers|TestStreamEquivalence' .
 
 ## fuzz: a short .vvf codec fuzz pass; lengthen with FUZZTIME=60s.
 FUZZTIME ?= 5s

@@ -64,6 +64,7 @@ func run(videos string, scale float64, out string, pngN int, y4m bool) error {
 		if err := g.Truth.SaveCSV(tpath); err != nil {
 			return err
 		}
+		//lint:allow privleak compressed byte count of the raw benchmark is as public as the file it sizes
 		fmt.Printf("  %s (%.2f MB), %s (%d objects)\n",
 			vpath, float64(n)/(1<<20), tpath, g.Truth.Len())
 		if y4m {

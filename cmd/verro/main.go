@@ -7,7 +7,7 @@
 //
 //	verro -in video.vvf [-tracks gt.csv] -out synthetic.vvf
 //	      [-f 0.1] [-eps 0] [-seed 1] [-png 0] [-laplace 0] [-no-opt]
-//	      [-workers N] [-trace out.json] [-pprof addr]
+//	      [-workers N] [-window N] [-trace out.json] [-pprof addr]
 //
 // Either -f (flip probability) or -eps (total ε budget; converted to f
 // using the number of key frames picked on a dry run) sets the privacy
@@ -41,6 +41,7 @@ type options struct {
 	laplace             float64
 	noOpt, multi        bool
 	workers             int
+	window              int
 	tracePath           string
 	pprofAddr           string
 }
@@ -59,6 +60,7 @@ func main() {
 	flag.BoolVar(&opt.multi, "multitype", false, "sanitize each object class independently (Section 5)")
 	flag.IntVar(&opt.gifN, "gif", 0, "also export an animated GIF sampling every Nth frame (0 = none)")
 	flag.IntVar(&opt.workers, "workers", 0, "worker-pool size for the hot CV loops (0 = VERRO_WORKERS or GOMAXPROCS; output is identical at any setting)")
+	flag.IntVar(&opt.window, "window", 0, "stream the pipeline in windows of N frames, bounding memory to O(N) (0 = whole-clip batch; output is identical at any setting)")
 	flag.StringVar(&opt.tracePath, "trace", "", "write a JSON run report (span tree + counters; schema in DESIGN.md)")
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -78,7 +80,137 @@ func main() {
 	}
 }
 
+// runStream is the bounded-memory file-to-file path behind -window: the
+// input decodes from disk in windows, the sanitizer streams, and the output
+// encodes to disk in windows, so peak memory is O(window) regardless of
+// clip length. The written file is byte-identical to the batch path's.
+func runStream(opt options) error {
+	if opt.multi {
+		return fmt.Errorf("-multitype drives per-class batch runs and does not compose with -window")
+	}
+	src, err := verro.OpenVideoSource(opt.in)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	meta := src.Meta()
+	//lint:allow privleak %v formats the video's size summary, not its content
+	fmt.Printf("input: %s %dx%d %d frames (streaming, window %d)\n", meta.Name, meta.W, meta.H, meta.Frames, opt.window)
+
+	var trace *verro.Trace
+	if opt.tracePath != "" {
+		trace = verro.NewTrace("verro")
+	}
+
+	var tracks *verro.TrackSet
+	if opt.tracksPath != "" {
+		tracks, err = verro.LoadTracks(opt.tracksPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("tracks: %d objects from %s\n", tracks.Len(), opt.tracksPath)
+	} else {
+		fmt.Println("no tracks given; running detection + tracking...")
+		pcfg := verro.DefaultPipelineConfig()
+		pcfg.Trace = trace
+		pcfg.WindowFrames = opt.window
+		tracks, err = verro.DetectAndTrackStream(src, pcfg)
+		if err != nil {
+			return err
+		}
+		if err := src.Reset(); err != nil {
+			return err
+		}
+		fmt.Printf("tracked %d objects\n", tracks.Len())
+	}
+
+	cfg := verro.DefaultConfig()
+	cfg.Seed = opt.seed
+	cfg.Phase1.F = opt.f
+	cfg.Phase1.Optimize = !opt.noOpt
+	cfg.Phase1.LaplaceEps = opt.laplace
+	cfg.Trace = trace
+	cfg.WindowFrames = opt.window
+	if opt.eps > 0 {
+		// Same ε→f conversion as the batch path, on a render-free streaming
+		// dry run (untraced so its stages don't double-count).
+		dry := cfg
+		dry.Phase2.SkipRender = true
+		dry.Trace = nil
+		dryRes, err := verro.SanitizeStream(src, tracks, dry, nil)
+		if err != nil {
+			return fmt.Errorf("dry run: %w", err)
+		}
+		if err := src.Reset(); err != nil {
+			return err
+		}
+		k := len(dryRes.Phase1.Picked)
+		conv, err := verro.FlipProbability(k, opt.eps)
+		if err != nil {
+			return err
+		}
+		cfg.Phase1.F = conv
+		fmt.Printf("eps=%.3f over %d picked key frames -> f=%.4f\n", opt.eps, k, conv)
+	}
+
+	sink, err := verro.NewVideoSink(opt.out, verro.StreamOutputMeta(meta))
+	if err != nil {
+		return err
+	}
+	res, err := verro.SanitizeStream(src, tracks, cfg, sink)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sanitized: eps=%.3f, phase1=%v phase2=%v\n",
+		res.Epsilon, res.Phase1Time.Round(1e6), res.Phase2Time.Round(1e6))
+	fmt.Printf("%d/%d objects retained over %d windows\n",
+		res.SyntheticTracks.Len(), tracks.Len(), len(res.Windows))
+	fmt.Printf("wrote %s (%.2f MB)\n", opt.out, float64(sink.Written())/(1<<20))
+
+	if opt.pngN > 0 || opt.gifN > 0 {
+		// The synthetic frames went straight to disk; read the output back
+		// for the optional exports. The decoded frames are SanitizeStream's
+		// own published output, not raw footage — the taint analyzer only
+		// sees a video decode.
+		synthetic, err := verro.ReadVideo(opt.out)
+		if err != nil {
+			return err
+		}
+		if opt.pngN > 0 {
+			dir := opt.out + "-frames"
+			count := 0
+			for k := 0; k < synthetic.Len(); k += opt.pngN {
+				path := filepath.Join(dir, fmt.Sprintf("frame%05d.png", k))
+				//lint:allow privleak frames decoded from our own sanitized output file
+				if err := synthetic.Frame(k).WritePNG(path); err != nil {
+					return err
+				}
+				count++
+			}
+			fmt.Printf("wrote %d PNG frames to %s\n", count, dir)
+		}
+		if opt.gifN > 0 {
+			gifPath := opt.out + ".gif"
+			//lint:allow privleak GIF re-encodes our own sanitized output file
+			if err := synthetic.WriteGIF(gifPath, opt.gifN); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", gifPath)
+		}
+	}
+	if trace != nil {
+		if err := trace.WriteFile(opt.tracePath); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace to %s\n%s", opt.tracePath, trace.Report().Summary())
+	}
+	return nil
+}
+
 func run(opt options) error {
+	if opt.window > 0 {
+		return runStream(opt)
+	}
 	video, err := verro.ReadVideo(opt.in)
 	if err != nil {
 		return err

@@ -256,6 +256,66 @@ func RunPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 func RunPhase2RT(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 	scenes inpaint.Scenes, w, h, numFrames int, cfg Phase2Config, rng *rand.Rand, rt obs.Runtime) (*Phase2Result, error) {
 
+	plan, err := planPhase2(p1, kf, tracks, w, h, numFrames, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	rendered, err := plan.renderRange(scenes, 0, numFrames, rt)
+	if err != nil {
+		return nil, err
+	}
+	asm := newPhase2Assembler(plan)
+	out := vid.New("synthetic", w, h, 0)
+	for i, fr := range rendered {
+		asm.add(i, fr)
+		if cfg.SkipRender {
+			continue
+		}
+		if err := out.Append(fr.frame); err != nil {
+			return nil, err
+		}
+	}
+	rt.Span.Add(obs.CFramesRendered, int64(numFrames))
+	res := asm.finish(rt)
+	if !cfg.SkipRender {
+		res.Video = out
+	}
+	return res, nil
+}
+
+// placed is one synthetic object scheduled on a frame: its synthetic id and
+// interpolated position.
+type placed struct {
+	id  int
+	pos geom.Vec
+}
+
+// phase2Plan is the coordinator-side outcome of Phase II: every random draw
+// has been consumed (key-frame assignment, pool expansion/shuffle, and the
+// palette offset), leaving a pure per-frame render schedule. Rendering any
+// frame from the plan is deterministic, so the batch path can render all
+// frames at once while the streaming path renders window by window — with
+// bit-identical output, because both consume the identical rng stream here
+// and only here.
+type phase2Plan struct {
+	cfg       Phase2Config
+	w, h      int
+	numFrames int
+	bounds    geom.Rect
+	perFrame  [][]placed
+	// colorOffset randomizes the palette per run (drawn after assignment,
+	// before any rendering — the draw order is part of the byte contract).
+	colorOffset int
+	assigned    [][]interp.Sample
+	lost        int
+}
+
+// planPhase2 runs the randomized half of Phase II and returns the render
+// schedule. It consumes rng in exactly the order the original monolithic
+// implementation did.
+func planPhase2(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
+	w, h, numFrames int, cfg Phase2Config, rng *rand.Rand) (*phase2Plan, error) {
+
 	if p1 == nil || len(p1.Output) == 0 {
 		return nil, fmt.Errorf("core: phase 2 requires phase 1 output")
 	}
@@ -328,12 +388,6 @@ func RunPhase2RT(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 	// aggregate counts usable even at f = 0.9 (Section 6.3).
 	const singleExtend = 2
 
-	out := vid.New("synthetic", w, h, 0)
-	synth := motio.NewTrackSet()
-	type placed struct {
-		id  int
-		pos geom.Vec
-	}
 	perFrame := make([][]placed, numFrames)
 	lost := 0
 	for i := 0; i < n; i++ {
@@ -372,33 +426,48 @@ func RunPhase2RT(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 	// videos of the same scene).
 	colorOffset := rng.Intn(1 << 16)
 
-	// Frames render independently on the worker pool: every RNG draw above
-	// happened on the coordinator, DrawObject/syntheticBox are pure given
-	// their frame, and each worker touches only its own frame clone and
-	// record list. Frames and track records are gathered in frame order, so
-	// the synthetic video and tracks are bit-identical to a serial render.
-	type recordEntry struct {
-		id  int
-		box geom.Rect
-	}
-	type frameResult struct {
-		frame *img.Image
-		recs  []recordEntry
-		err   error
-	}
-	renderFrame := func(k int) frameResult {
+	return &phase2Plan{
+		cfg: cfg, w: w, h: h, numFrames: numFrames, bounds: bounds,
+		perFrame: perFrame, colorOffset: colorOffset,
+		assigned: assigned, lost: lost,
+	}, nil
+}
+
+// recordEntry is one synthetic object's box on one frame.
+type recordEntry struct {
+	id  int
+	box geom.Rect
+}
+
+// renderedFrame is the render output for a single frame: the pixel data
+// (nil under SkipRender) and the boxes drawn on it.
+type renderedFrame struct {
+	frame *img.Image
+	recs  []recordEntry
+	err   error
+}
+
+// renderRange renders frames [lo, hi) of the plan on rt.Pool. Frames render
+// independently: every RNG draw happened during planning on the
+// coordinator, DrawObject/syntheticBox are pure given their frame, and each
+// worker touches only its own frame clone and record list. Results are
+// gathered in frame order, so rendering the clip in one call or in
+// consecutive windows produces bit-identical frames and records.
+func (pl *phase2Plan) renderRange(scenes inpaint.Scenes, lo, hi int, rt obs.Runtime) ([]renderedFrame, error) {
+	renderFrame := func(i int) renderedFrame {
+		k := lo + i
 		// Depth-sort: draw farther (smaller y) objects first. perFrame[k]
 		// is owned by this frame, so the in-place sort is race-free.
-		ps := perFrame[k]
+		ps := pl.perFrame[k]
 		for a := 1; a < len(ps); a++ {
 			for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
 				ps[b], ps[b-1] = ps[b-1], ps[b]
 			}
 		}
-		var res frameResult
-		if cfg.SkipRender {
-			for _, pl := range ps {
-				res.recs = append(res.recs, recordEntry{pl.id, syntheticBox(cfg.Class, pl.pos, h)})
+		var res renderedFrame
+		if pl.cfg.SkipRender {
+			for _, p := range ps {
+				res.recs = append(res.recs, recordEntry{p.id, syntheticBox(pl.cfg.Class, p.pos, pl.h)})
 			}
 			return res
 		}
@@ -407,65 +476,75 @@ func RunPhase2RT(p1 *Phase1Result, kf *keyframe.Result, tracks *motio.TrackSet,
 			res.err = fmt.Errorf("core: background for frame %d: %w", k, err)
 			return res
 		}
-		if bg.W != w || bg.H != h {
-			res.err = fmt.Errorf("core: background %dx%d does not match %dx%d", bg.W, bg.H, w, h)
+		if bg.W != pl.w || bg.H != pl.h {
+			res.err = fmt.Errorf("core: background %dx%d does not match %dx%d", bg.W, bg.H, pl.w, pl.h)
 			return res
 		}
 		frame := bg.Clone()
-		for _, pl := range ps {
+		for _, p := range ps {
 			phase := float64(k) * 0.35
-			res.recs = append(res.recs, recordEntry{pl.id, scene.DrawObject(frame, cfg.Class, scene.Palette(pl.id+colorOffset), pl.pos, phase)})
+			res.recs = append(res.recs, recordEntry{p.id, scene.DrawObject(frame, pl.cfg.Class, scene.Palette(p.id+pl.colorOffset), p.pos, phase)})
 		}
 		res.frame = frame
 		return res
 	}
-	rendered := par.MapPool(rt.Pool, numFrames, 1, renderFrame)
-
-	synthTracks := make(map[int]*motio.Track)
-	record := func(k, id int, box geom.Rect) {
-		vis := box.Intersect(bounds)
-		if vis.Empty() {
-			return
-		}
-		tr, ok := synthTracks[id]
-		if !ok {
-			tr = motio.NewTrack(id, cfg.Class.String())
-			synthTracks[id] = tr
-			synth.Add(tr)
-		}
-		tr.Set(k, vis)
-	}
-	var objectsRendered int64
-	for k, fr := range rendered {
+	rendered := par.MapPool(rt.Pool, hi-lo, 1, renderFrame)
+	for _, fr := range rendered {
 		if fr.err != nil {
 			return nil, fr.err
 		}
-		objectsRendered += int64(len(fr.recs))
-		for _, r := range fr.recs {
-			record(k, r.id, r.box)
-		}
-		if cfg.SkipRender {
+	}
+	return rendered, nil
+}
+
+// phase2Assembler folds rendered frames (fed strictly in frame order) into
+// the synthetic track set. The batch path feeds it the whole clip at once;
+// the streaming path feeds it window by window — the fold is order-
+// deterministic either way.
+type phase2Assembler struct {
+	plan            *phase2Plan
+	synth           *motio.TrackSet
+	synthTracks     map[int]*motio.Track
+	objectsRendered int64
+}
+
+func newPhase2Assembler(plan *phase2Plan) *phase2Assembler {
+	return &phase2Assembler{
+		plan:        plan,
+		synth:       motio.NewTrackSet(),
+		synthTracks: make(map[int]*motio.Track),
+	}
+}
+
+// add records the boxes of frame k.
+func (a *phase2Assembler) add(k int, fr renderedFrame) {
+	a.objectsRendered += int64(len(fr.recs))
+	for _, r := range fr.recs {
+		vis := r.box.Intersect(a.plan.bounds)
+		if vis.Empty() {
 			continue
 		}
-		if err := out.Append(fr.frame); err != nil {
-			return nil, err
+		tr, ok := a.synthTracks[r.id]
+		if !ok {
+			tr = motio.NewTrack(r.id, a.plan.cfg.Class.String())
+			a.synthTracks[r.id] = tr
+			a.synth.Add(tr)
 		}
+		tr.Set(k, vis)
 	}
-	synth.Sort()
-	rt.Span.Add(obs.CFramesRendered, int64(numFrames))
-	rt.Span.Add(obs.CObjectsRendered, objectsRendered)
-	rt.Span.Add(obs.CObjectsLost, int64(lost))
+}
 
-	res := &Phase2Result{
-		Video:    out,
-		Tracks:   synth,
-		Assigned: assigned,
-		Lost:     lost,
+// finish sorts the tracks, lands the object counters on rt.Span, and
+// returns the result (Video left nil — the caller owns frame delivery).
+func (a *phase2Assembler) finish(rt obs.Runtime) *Phase2Result {
+	a.synth.Sort()
+	rt.Span.Add(obs.CObjectsRendered, a.objectsRendered)
+	rt.Span.Add(obs.CObjectsLost, int64(a.plan.lost))
+	return &Phase2Result{
+		Tracks:   a.synth,
+		Assigned: a.plan.assigned,
+		Lost:     a.plan.lost,
 	}
-	if cfg.SkipRender {
-		res.Video = nil
-	}
-	return res, nil
 }
 
 // syntheticBox computes the box a synthetic object would cover at pos

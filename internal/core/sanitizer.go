@@ -37,6 +37,14 @@ type Config struct {
 	// counters and worker-pool gauges. Nil (the default) disables all
 	// instrumentation at zero cost; tracing never perturbs the seeded output.
 	Trace *obs.Trace
+	// WindowFrames, when positive, runs the sanitizer as a bounded-memory
+	// streaming pipeline processing at most WindowFrames frames per window;
+	// 0 (the default) keeps the legacy whole-clip batch path. The two paths
+	// produce bit-identical output for the same seed: all randomness is
+	// drawn on the coordinator in an order independent of the windowing.
+	// SanitizeMultiType drives its own per-class batch runs and ignores
+	// this field.
+	WindowFrames int
 }
 
 // DefaultConfig assembles the defaults of every stage.
@@ -75,11 +83,74 @@ type Result struct {
 	// PreprocessTime covers key-frame extraction and background
 	// reconstruction, reported separately as in the paper.
 	PreprocessTime time.Duration
+	// Windows is the per-window privacy ledger of a streaming run (nil for
+	// the batch path): one entry per render window, whose integer picked
+	// key-frame counts sum to len(Phase1.Picked) and whose ε entries
+	// recompose to exactly Epsilon. See DESIGN.md §2g.
+	Windows []WindowSpend
+}
+
+// WindowSpend attributes Phase I privacy budget to one streaming render
+// window: the picked key frames falling inside [Start, Start+Frames) and
+// the ε they account for. The ledger is exact, not approximate — budget is
+// apportioned by integer key-frame counts, and the total is recomputed as
+// K·ln((2−f)/f) over the summed count, the same closed form ldp.Epsilon
+// uses, so the recomposed total equals the batch ε bit for bit.
+type WindowSpend struct {
+	Start, Frames int
+	Picked        int
+	Epsilon       float64
+}
+
+// autoSegmentCfg resolves the MaxSegmentLen auto-clamp for a clip of the
+// given length: 0 means auto (cap segments at ~1/20 of the video so static
+// scenes still produce enough key frames), negative disables the cap. Both
+// the batch and streaming drivers resolve through here so the segmentation
+// they run is identical.
+func autoSegmentCfg(kfCfg keyframe.Config, clipLen int) keyframe.Config {
+	switch {
+	case kfCfg.MaxSegmentLen == 0:
+		kfCfg.MaxSegmentLen = clipLen / 20
+		if kfCfg.MaxSegmentLen < 1 {
+			kfCfg.MaxSegmentLen = 1
+		}
+	case kfCfg.MaxSegmentLen < 0:
+		kfCfg.MaxSegmentLen = 0
+	}
+	return kfCfg
+}
+
+// runPhase1Stage runs Phase I with its span bookkeeping: presence-vector
+// reduction, the randomized mechanism, and the post-hoc counters (picked
+// key frames; randomized-response flips as the Hamming distance between the
+// budgeted vectors B* and the published vectors R). Shared verbatim by the
+// batch and streaming drivers — Phase I consumes the rng stream, so having
+// one implementation is what keeps the two paths' draws aligned.
+func runPhase1Stage(tracks *motio.TrackSet, clipLen int, kf *keyframe.Result, cfg Phase1Config, rng *rand.Rand, root *obs.Span) (*Phase1Result, error) {
+	p1Span := root.Child("phase1")
+	defer p1Span.End()
+	full := PresenceVectors(tracks, clipLen)
+	reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
+	if err != nil {
+		return nil, err
+	}
+	p1, err := RunPhase1(reduced, kf.KeyFrames, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	p1Span.Add(obs.CKeyFramesPicked, int64(len(p1.Picked)))
+	var flips int64
+	for i := range p1.Output {
+		flips += int64(ldp.Hamming(p1.Optimal[i], p1.Output[i]))
+	}
+	p1Span.Add(obs.CRRBitsFlipped, flips)
+	return p1, nil
 }
 
 // Sanitize runs the full VERRO pipeline: key-frame extraction, background
 // reconstruction, Phase I and Phase II. The input video and tracks are not
-// modified.
+// modified. With cfg.WindowFrames > 0 the run is delegated to the windowed
+// streaming driver (see SanitizeStream), whose output is bit-identical.
 func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error) {
 	if v == nil || v.Len() == 0 {
 		return nil, fmt.Errorf("core: empty input video")
@@ -89,6 +160,9 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.WindowFrames > 0 {
+		return sanitizeWindowed(v, tracks, cfg)
 	}
 	// A scoped pool (not the former global SetWorkers save/restore, which was
 	// non-reentrant) so concurrent Sanitize calls with different Workers each
@@ -104,16 +178,7 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 	// the Phase II interpolation (pure Algorithm 2 would otherwise collapse
 	// a static video into a single segment). Negative disables the cap.
 	preStart := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
-	kfCfg := cfg.Keyframe
-	switch {
-	case kfCfg.MaxSegmentLen == 0:
-		kfCfg.MaxSegmentLen = v.Len() / 20
-		if kfCfg.MaxSegmentLen < 1 {
-			kfCfg.MaxSegmentLen = 1
-		}
-	case kfCfg.MaxSegmentLen < 0:
-		kfCfg.MaxSegmentLen = 0
-	}
+	kfCfg := autoSegmentCfg(cfg.Keyframe, v.Len())
 	kfSpan := root.Child("keyframes")
 	kf, err := keyframe.ExtractRT(v, kfCfg, obs.Runtime{Pool: pool, Span: kfSpan})
 	kfSpan.End()
@@ -137,28 +202,10 @@ func Sanitize(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error)
 
 	// Phase I.
 	p1Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
-	p1Span := root.Child("phase1")
-	full := PresenceVectors(tracks, v.Len())
-	reduced, err := ReduceToKeyFrames(full, kf.KeyFrames)
+	p1, err := runPhase1Stage(tracks, v.Len(), kf, cfg.Phase1, rng, root)
 	if err != nil {
-		p1Span.End()
 		return nil, err
 	}
-	p1, err := RunPhase1(reduced, kf.KeyFrames, cfg.Phase1, rng)
-	if err != nil {
-		p1Span.End()
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-	// Phase I counters are derived post hoc from the result — the picked
-	// key frames, and the randomized-response flips as the Hamming distance
-	// between the budgeted vectors B* and the published vectors R.
-	p1Span.Add(obs.CKeyFramesPicked, int64(len(p1.Picked)))
-	var flips int64
-	for i := range p1.Output {
-		flips += int64(ldp.Hamming(p1.Optimal[i], p1.Output[i]))
-	}
-	p1Span.Add(obs.CRRBitsFlipped, flips)
-	p1Span.End()
 	p1Time := time.Since(p1Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
 
 	// Phase II.

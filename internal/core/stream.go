@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"verro/internal/detect"
+	"verro/internal/img"
+	"verro/internal/inpaint"
+	"verro/internal/keyframe"
+	"verro/internal/motio"
+	"verro/internal/obs"
+	"verro/internal/par"
+	"verro/internal/stream"
+	"verro/internal/vid"
+)
+
+// The bounded-memory streaming driver. SanitizeStream runs the same VERRO
+// pipeline as Sanitize, but never holds the whole clip: the input flows
+// through an analysis pass in windows of cfg.WindowFrames frames, the
+// analysis retains only clip-length *metadata* (per-frame HSV histograms,
+// pan offsets) plus the ~40 strided background samples detect.AutoStep
+// bounds, and Phase II renders window by window straight into a sink.
+//
+// Bit-identity with the batch path is by construction, not by luck:
+//
+//   - every per-frame analysis quantity (histogram, column profile, strided
+//     sample) is computed by the same pure helper the batch path calls, in
+//     the same frame order;
+//   - every random draw (Phase I randomized response and Laplace noise,
+//     Phase II assignment and palette offset) happens on the coordinator
+//     between the two passes, via the same shared planPhase2/runPhase1Stage
+//     code, in an order independent of the windowing;
+//   - rendering a planned frame is pure, and the windowed VVF writer emits
+//     the same byte stream as the batch encoder for any append granularity.
+//
+// Peak live memory is O(WindowFrames + samples), which the memory-ceiling
+// test in stream_mem_test.go holds roughly flat as the clip grows.
+
+// histStage accumulates the per-frame HSV histograms Algorithm 2 needs —
+// a few hundred bytes per frame, so clip-length retention stays metadata-
+// sized while the pixels flow through unretained.
+type histStage struct {
+	cfg   keyframe.Config
+	pool  *par.Pool
+	hists []*img.HSVHist
+}
+
+func (s *histStage) Name() string { return "hist" }
+func (s *histStage) Overlap() int { return 0 }
+func (s *histStage) Flush() error { return nil }
+func (s *histStage) Process(w stream.Window) error {
+	hs, err := keyframe.FrameHists(w.FreshFrames(), s.cfg, s.pool)
+	if err != nil {
+		return err
+	}
+	s.hists = append(s.hists, hs...)
+	return nil
+}
+
+// bgSampleStage retains every step-th frame for the temporal background
+// median — the same `k % step == 0` stride the batch reconstruction walks,
+// bounded at ~40 samples by detect.AutoStep whatever the clip length.
+type bgSampleStage struct {
+	step    int
+	samples []*img.Image
+	indices []int
+}
+
+func (s *bgSampleStage) Name() string { return "bgsample" }
+func (s *bgSampleStage) Overlap() int { return 0 }
+func (s *bgSampleStage) Flush() error { return nil }
+func (s *bgSampleStage) Process(w stream.Window) error {
+	for i, f := range w.FreshFrames() {
+		k := w.FreshStart() + i
+		if k%s.step == 0 {
+			s.samples = append(s.samples, f)
+			s.indices = append(s.indices, k)
+		}
+	}
+	return nil
+}
+
+// panStage integrates per-frame pan offsets for moving-camera clips. Each
+// pairwise shift needs the previous frame's column profile; the stage
+// declares Overlap() == 1 and recomputes that profile from the re-presented
+// overlap frame instead of retaining pixels across windows, so its state
+// between windows is just the integer offsets.
+type panStage struct {
+	maxShift int
+	offsets  []int
+}
+
+func (s *panStage) Name() string { return "pan" }
+func (s *panStage) Overlap() int { return 1 }
+func (s *panStage) Flush() error { return nil }
+func (s *panStage) Process(w stream.Window) error {
+	profiles := make([][]float64, len(w.Frames))
+	for i, f := range w.Frames {
+		profiles[i] = inpaint.ColumnProfile(f)
+	}
+	for i := w.Fresh; i < len(w.Frames); i++ {
+		if w.Start+i == 0 {
+			s.offsets = append(s.offsets, 0)
+			continue
+		}
+		shift := inpaint.BestShift(profiles[i-1], profiles[i], s.maxShift)
+		s.offsets = append(s.offsets, s.offsets[len(s.offsets)-1]+shift)
+	}
+	return nil
+}
+
+// windowHook builds a stream.Run per-window hook that opens a child span
+// per window under parent and lands the window counters, giving traces a
+// per-window progress observable on both the analysis and render passes.
+func windowHook(parent *obs.Span) func(stream.Window) func() {
+	return func(w stream.Window) func() {
+		parent.Add(obs.CWindows, 1)
+		parent.Add(obs.CWindowFrames, int64(len(w.Frames)))
+		child := parent.Child(fmt.Sprintf("window@%d", w.Start))
+		return child.End
+	}
+}
+
+// windowSpend attributes Phase I budget to the render window [lo, hi): the
+// picked key frames falling inside it, at ln((2−f)/f) each. Summing the
+// integer Picked fields over all windows recovers len(p1.Picked) exactly,
+// and K·ln((2−f)/f) over that sum is the same closed form ldp.Epsilon
+// evaluates — so the ledger recomposes to the batch ε with no float drift.
+func windowSpend(p1 *Phase1Result, lo, hi int) WindowSpend {
+	picked := 0
+	for _, j := range p1.Picked {
+		if k := p1.KeyFrames[j]; k >= lo && k < hi {
+			picked++
+		}
+	}
+	return WindowSpend{
+		Start:   lo,
+		Frames:  hi - lo,
+		Picked:  picked,
+		Epsilon: float64(picked) * math.Log((2-p1.F)/p1.F),
+	}
+}
+
+// SanitizeStream runs the VERRO pipeline over a frame source in bounded
+// windows of cfg.WindowFrames frames (<= 0 means one whole-clip window),
+// writing the synthetic video to sink window by window. The output is
+// bit-identical to Sanitize on the decoded clip with the same cfg. The
+// returned Result carries everything the batch Result does except
+// Synthetic/Phase2.Video (the frames went to the sink, which only the
+// caller can replay), plus the per-window privacy ledger in Windows.
+//
+// sink is closed on success once all frames are appended; on error the
+// caller owns whatever cleanup its sink needs. Under cfg.Phase2.SkipRender
+// no frames are produced and sink may be nil (a non-nil sink is left
+// untouched).
+func SanitizeStream(src stream.Source, tracks *motio.TrackSet, cfg Config, sink stream.Sink) (*Result, error) {
+	meta := src.Meta()
+	if meta.Frames == 0 {
+		return nil, fmt.Errorf("core: empty input video")
+	}
+	if tracks == nil {
+		return nil, fmt.Errorf("core: nil track set")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Phase2.SkipRender && sink == nil {
+		return nil, fmt.Errorf("core: nil sink for rendering run")
+	}
+	pool := par.NewPool(cfg.Workers)
+	cfg.Trace.AttachPool(pool)
+	root := cfg.Trace.Root()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Analysis pass: one windowed sweep over the source collecting the
+	// clip-length metadata preprocessing needs.
+	preStart := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+	kfCfg := autoSegmentCfg(cfg.Keyframe, meta.Frames)
+	hist := &histStage{cfg: kfCfg, pool: pool}
+	stages := []stream.Stage{hist}
+	var bgs *bgSampleStage
+	var pan *panStage
+	if !cfg.Phase2.SkipRender {
+		step := cfg.BackgroundStep
+		if step <= 0 {
+			step = detect.AutoStep(meta.Frames)
+		}
+		bgs = &bgSampleStage{step: step}
+		stages = append(stages, bgs)
+		if meta.Moving {
+			pan = &panStage{maxShift: inpaint.DefaultPanShift}
+			stages = append(stages, pan)
+		}
+	}
+	anSpan := root.Child("analysis")
+	err := stream.Run(src, cfg.WindowFrames, windowHook(anSpan), stages...)
+	anSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis pass: %w", err)
+	}
+
+	kfSpan := root.Child("keyframes")
+	kf, err := keyframe.SegmentHistsRT(hist.hists, kfCfg, obs.Runtime{Pool: pool, Span: kfSpan})
+	kfSpan.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: key frames: %w", err)
+	}
+
+	var scenes inpaint.Scenes
+	if !cfg.Phase2.SkipRender {
+		inSpan := root.Child("inpaint")
+		rt := obs.Runtime{Pool: pool, Span: inSpan}
+		if meta.Moving {
+			scenes, err = inpaint.BuildMovingBackgroundSamplesRT(
+				meta.W, meta.H, pan.offsets, bgs.samples, bgs.indices, tracks, cfg.Inpaint, rt)
+		} else {
+			var bg *img.Image
+			bg, err = inpaint.StaticBackgroundSamplesRT(
+				meta.W, meta.H, bgs.samples, bgs.indices, tracks, cfg.Inpaint, rt)
+			if err == nil {
+				scenes = inpaint.NewStaticScenes(bg)
+			}
+		}
+		inSpan.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: background: %w", err)
+		}
+		// The analysis samples have served; drop them before rendering so
+		// the render pass's live set is the plan plus one window.
+		bgs.samples, bgs.indices = nil, nil
+	}
+	preTime := time.Since(preStart) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+
+	// Phase I — small data, identical helper and rng order to the batch path.
+	p1Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+	p1, err := runPhase1Stage(tracks, meta.Frames, kf, cfg.Phase1, rng, root)
+	if err != nil {
+		return nil, err
+	}
+	p1Time := time.Since(p1Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+
+	// Phase II: consume the remaining rng draws into a pure render plan,
+	// then render window by window into the sink.
+	p2Start := time.Now() //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+	p2Span := root.Child("phase2")
+	plan, err := planPhase2(p1, kf, tracks, meta.W, meta.H, meta.Frames, cfg.Phase2, rng)
+	if err != nil {
+		p2Span.End()
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	asm := newPhase2Assembler(plan)
+	budget := cfg.WindowFrames
+	if budget <= 0 {
+		budget = meta.Frames
+	}
+	hook := windowHook(p2Span)
+	var ledger []WindowSpend
+	for lo := 0; lo < meta.Frames; lo += budget {
+		hi := lo + budget
+		if hi > meta.Frames {
+			hi = meta.Frames
+		}
+		post := hook(stream.Window{Start: lo, Frames: make([]*img.Image, hi-lo), Last: hi == meta.Frames})
+		rendered, err := plan.renderRange(scenes, lo, hi, obs.Runtime{Pool: pool, Span: p2Span})
+		if err != nil {
+			post()
+			p2Span.End()
+			return nil, err
+		}
+		frames := make([]*img.Image, 0, len(rendered))
+		for i, fr := range rendered {
+			asm.add(lo+i, fr)
+			if fr.frame != nil {
+				frames = append(frames, fr.frame)
+			}
+		}
+		if !cfg.Phase2.SkipRender {
+			if err := sink.Append(frames); err != nil {
+				post()
+				p2Span.End()
+				return nil, fmt.Errorf("core: sink: %w", err)
+			}
+		}
+		ledger = append(ledger, windowSpend(p1, lo, hi))
+		post()
+	}
+	p2Span.Add(obs.CFramesRendered, int64(meta.Frames))
+	p2 := asm.finish(obs.Runtime{Pool: pool, Span: p2Span})
+	p2Span.End()
+	if !cfg.Phase2.SkipRender {
+		if err := sink.Close(); err != nil {
+			return nil, fmt.Errorf("core: sink: %w", err)
+		}
+	}
+	p2Time := time.Since(p2Start) //lint:allow walltime span timing for Table 3 diagnostics; never enters sanitized output
+
+	return &Result{
+		SyntheticTracks: p2.Tracks,
+		Phase1:          p1,
+		Phase2:          p2,
+		KeyframeResult:  kf,
+		Epsilon:         p1.Epsilon,
+		Phase1Time:      p1Time,
+		Phase2Time:      p2Time,
+		PreprocessTime:  preTime,
+		Windows:         ledger,
+	}, nil
+}
+
+// OutputMeta derives the sink metadata for a streaming run from the input
+// metadata: same geometry and timing, the batch path's "-verro" name suffix.
+func OutputMeta(in stream.Meta) stream.Meta {
+	out := in
+	out.Name = in.Name + "-verro"
+	return out
+}
+
+// sanitizeWindowed adapts an in-memory Sanitize call onto the streaming
+// driver: the clip is wrapped as a slice-backed source, the rendered
+// windows are collected back, and the Result is completed with the
+// assembled synthetic video so callers see the exact batch contract.
+func sanitizeWindowed(v *vid.Video, tracks *motio.TrackSet, cfg Config) (*Result, error) {
+	src := stream.NewSliceSource(vid.MetaOf(v), v.Frames)
+	var sink *stream.CollectSink
+	if !cfg.Phase2.SkipRender {
+		sink = &stream.CollectSink{}
+	}
+	var s stream.Sink
+	if sink != nil {
+		s = sink
+	}
+	res, err := SanitizeStream(src, tracks, cfg, s)
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		out := vid.New(v.Name+"-verro", v.W, v.H, v.FPS)
+		out.Moving = v.Moving
+		out.Frames = sink.Frames
+		res.Synthetic = out
+		res.Phase2.Video = out
+	}
+	return res, nil
+}

@@ -42,16 +42,41 @@ func StaticBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Conf
 	if v.Len() == 0 {
 		return nil, errors.New("inpaint: empty video")
 	}
+	samples, indices := stride(v.Frames, step)
+	return StaticBackgroundSamplesRT(v.W, v.H, samples, indices, tracks, cfg, rt)
+}
+
+// stride picks every step-th frame with its clip index, matching the
+// `for k := 0; k < n; k += step` sampling of the batch reconstructions.
+func stride(frames []*img.Image, step int) ([]*img.Image, []int) {
 	if step < 1 {
 		step = 1
 	}
-	w, h := v.W, v.H
-	rt.Span.Add(obs.CBGFramesSampled, int64((v.Len()+step-1)/step))
+	var samples []*img.Image
+	var indices []int
+	for k := 0; k < len(frames); k += step {
+		samples = append(samples, frames[k])
+		indices = append(indices, k)
+	}
+	return samples, indices
+}
+
+// StaticBackgroundSamplesRT reconstructs the static background from an
+// explicit list of sampled frames and their clip indices. The batch path
+// passes the strided frames of the whole clip; the streaming path passes
+// copies it retained while windows flowed by (bounded at ~40 samples by
+// detect.AutoStep, so retention is O(1) in clip length). Both orders are
+// identical, so the per-pixel median stacks — and the output — are
+// bit-identical.
+func StaticBackgroundSamplesRT(w, h int, samples []*img.Image, indices []int, tracks *motio.TrackSet, cfg Config, rt obs.Runtime) (*img.Image, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("inpaint: empty video")
+	}
+	rt.Span.Add(obs.CBGFramesSampled, int64(len(samples)))
 	// Per-pixel value collection (uint8 per channel) over unmasked frames.
 	vals := make([][]uint8, w*h*3)
-	for k := 0; k < v.Len(); k += step {
-		mask := FrameMask(w, h, k, tracks)
-		f := v.Frame(k)
+	for i, f := range samples {
+		mask := FrameMask(w, h, indices[i], tracks)
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				if mask.At(x, y) {
@@ -103,6 +128,10 @@ func medianU8(vals []uint8) uint8 {
 	return 255
 }
 
+// DefaultPanShift is the ±search window (in columns) the pipeline uses for
+// pairwise pan estimation.
+const DefaultPanShift = 12
+
 // EstimatePan estimates the horizontal camera offset of every frame
 // relative to frame 0 by integrating frame-to-frame shifts. Each pairwise
 // shift is found by minimizing the sum of absolute differences of row-mean
@@ -112,23 +141,24 @@ func EstimatePan(v *vid.Video, maxShift int) ([]int, error) {
 	if v.Len() == 0 {
 		return nil, errors.New("inpaint: empty video")
 	}
-	if maxShift < 1 {
-		maxShift = 8
-	}
 	profiles := make([][]float64, v.Len())
 	for k := 0; k < v.Len(); k++ {
-		profiles[k] = columnProfile(v.Frame(k))
+		profiles[k] = ColumnProfile(v.Frame(k))
 	}
 	offsets := make([]int, v.Len())
 	for k := 1; k < v.Len(); k++ {
-		shift := bestShift(profiles[k-1], profiles[k], maxShift)
+		shift := BestShift(profiles[k-1], profiles[k], maxShift)
 		offsets[k] = offsets[k-1] + shift
 	}
 	return offsets, nil
 }
 
-// columnProfile returns the mean luma of each column.
-func columnProfile(f *img.Image) []float64 {
+// ColumnProfile returns the mean luma of each column — the pure per-frame
+// half of pan estimation. The streaming pan stage calls this frame by frame
+// (recomputing the overlap frame's profile instead of retaining pixels) and
+// integrates the pairwise BestShift results exactly as EstimatePan does, so
+// the two paths produce identical offsets.
+func ColumnProfile(f *img.Image) []float64 {
 	out := make([]float64, f.W)
 	for x := 0; x < f.W; x++ {
 		var sum float64
@@ -140,8 +170,11 @@ func columnProfile(f *img.Image) []float64 {
 	return out
 }
 
-// bestShift finds s minimizing SAD(prev[x+s], cur[x]).
-func bestShift(prev, cur []float64, maxShift int) int {
+// BestShift finds s minimizing SAD(prev[x+s], cur[x]).
+func BestShift(prev, cur []float64, maxShift int) int {
+	if maxShift < 1 {
+		maxShift = 8
+	}
 	best := 0
 	bestSAD := math.Inf(1)
 	for s := -maxShift; s <= maxShift; s++ {
@@ -185,11 +218,27 @@ func BuildMovingBackground(v *vid.Video, tracks *motio.TrackSet, step int, cfg C
 
 // BuildMovingBackgroundRT is BuildMovingBackground on an explicit runtime.
 func BuildMovingBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config, rt obs.Runtime) (*MovingBackground, error) {
-	offsets, err := EstimatePan(v, 12)
+	offsets, err := EstimatePan(v, DefaultPanShift)
 	if err != nil {
 		return nil, err
 	}
+	samples, indices := stride(v.Frames, step)
+	return BuildMovingBackgroundSamplesRT(v.W, v.H, offsets, samples, indices, tracks, cfg, rt)
+}
+
+// BuildMovingBackgroundSamplesRT builds the panorama background from raw
+// (un-normalized, frame-0-relative) pan offsets for every frame plus the
+// sampled frames feeding the temporal median. The streaming analysis pass
+// supplies offsets from its pan stage and the sample copies it retained;
+// the batch wrapper above supplies EstimatePan output and the strided
+// frames. Identical inputs in identical order make the panorama
+// bit-identical across the two paths.
+func BuildMovingBackgroundSamplesRT(w, h int, offsets []int, samples []*img.Image, indices []int, tracks *motio.TrackSet, cfg Config, rt obs.Runtime) (*MovingBackground, error) {
+	if len(offsets) == 0 || len(samples) == 0 {
+		return nil, errors.New("inpaint: empty video")
+	}
 	// Normalize offsets to be ≥ 0.
+	offsets = append([]int(nil), offsets...)
 	minOff := offsets[0]
 	maxOff := offsets[0]
 	for _, o := range offsets {
@@ -203,34 +252,31 @@ func BuildMovingBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg
 	for i := range offsets {
 		offsets[i] -= minOff
 	}
-	panW := v.W + (maxOff - minOff)
-	if step < 1 {
-		step = 1
-	}
-	rt.Span.Add(obs.CBGFramesSampled, int64((v.Len()+step-1)/step))
+	panW := w + (maxOff - minOff)
+	rt.Span.Add(obs.CBGFramesSampled, int64(len(samples)))
 
-	vals := make([][]uint8, panW*v.H*3)
-	for k := 0; k < v.Len(); k += step {
-		mask := FrameMask(v.W, v.H, k, tracks)
-		f := v.Frame(k)
+	vals := make([][]uint8, panW*h*3)
+	for i, f := range samples {
+		k := indices[i]
+		mask := FrameMask(w, h, k, tracks)
 		off := offsets[k]
-		for y := 0; y < v.H; y++ {
-			for x := 0; x < v.W; x++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
 				if mask.At(x, y) {
 					continue
 				}
 				pi := (y*panW + x + off) * 3
-				fi := (y*v.W + x) * 3
+				fi := (y*w + x) * 3
 				for c := 0; c < 3; c++ {
 					vals[pi+c] = append(vals[pi+c], f.Pix[fi+c])
 				}
 			}
 		}
 	}
-	pano := img.New(panW, v.H)
-	hole := NewMask(panW, v.H)
+	pano := img.New(panW, h)
+	hole := NewMask(panW, h)
 	holes := 0
-	for i := 0; i < panW*v.H; i++ {
+	for i := 0; i < panW*h; i++ {
 		if len(vals[i*3]) == 0 {
 			hole.Bits[i] = true
 			holes++
@@ -240,14 +286,14 @@ func BuildMovingBackgroundRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg
 			pano.Pix[i*3+c] = medianU8(vals[i*3+c])
 		}
 	}
-	if holes > 0 && holes < panW*v.H {
+	if holes > 0 && holes < panW*h {
 		filled, err := InpaintRT(pano, hole, cfg, rt)
 		if err != nil {
 			return nil, fmt.Errorf("inpaint: panorama holes: %w", err)
 		}
 		pano = filled
 	}
-	return &MovingBackground{Panorama: pano, Offsets: offsets, W: v.W, H: v.H}, nil
+	return &MovingBackground{Panorama: pano, Offsets: offsets, W: w, H: h}, nil
 }
 
 // FrameBackground returns the background scene for frame k.

@@ -85,25 +85,49 @@ func ExtractRT(v *vid.Video, cfg Config, rt obs.Runtime) (*Result, error) {
 	if v.Len() == 0 {
 		return nil, ErrEmptyVideo
 	}
+	hists, err := FrameHists(v.Frames, cfg, rt.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return SegmentHistsRT(hists, cfg, rt)
+}
+
+// FrameHists computes the per-frame HSV histograms of Algorithm 2 lines 4-6
+// on the given pool: independent per frame, sharded with an index-ordered
+// gather. The streaming driver calls this window by window (histograms are
+// a few hundred bytes per frame, so retaining them is O(clip-metadata), not
+// O(clip-pixels)); the batch path calls it once over the whole clip. Both
+// produce bit-identical histograms because the per-frame computation is
+// pure.
+func FrameHists(frames []*img.Image, cfg Config, pool *par.Pool) ([]*img.HSVHist, error) {
 	if cfg.HBins <= 0 || cfg.SBins <= 0 || cfg.VBins <= 0 {
 		return nil, fmt.Errorf("keyframe: non-positive bin counts %d/%d/%d", cfg.HBins, cfg.SBins, cfg.VBins)
 	}
+	return par.MapPool(pool, len(frames), 1, func(k int) *img.HSVHist {
+		return img.NewHSVHist(frames[k], cfg.HBins, cfg.SBins, cfg.VBins)
+	}), nil
+}
 
-	// Per-frame histograms (line 4-6): independent per frame, computed on
-	// the worker pool with an index-ordered gather; the greedy segmentation
-	// below stays serial because each decision depends on the running
-	// segment histogram.
-	hists := par.MapPool(rt.Pool, v.Len(), 1, func(k int) *img.HSVHist {
-		return img.NewHSVHist(v.Frame(k), cfg.HBins, cfg.SBins, cfg.VBins)
-	})
+// SegmentHists runs the greedy segmentation of Algorithm 2 (lines 3-21)
+// over already-computed per-frame histograms.
+func SegmentHists(hists []*img.HSVHist, cfg Config) (*Result, error) {
+	return SegmentHistsRT(hists, cfg, obs.Runtime{})
+}
 
+// SegmentHistsRT is SegmentHists on an explicit runtime: segment and
+// key-frame counts land on rt.Span. The segmentation is serial because each
+// decision depends on the running segment histogram.
+func SegmentHistsRT(hists []*img.HSVHist, cfg Config, rt obs.Runtime) (*Result, error) {
+	if len(hists) == 0 {
+		return nil, ErrEmptyVideo
+	}
 	// Greedy segmentation (lines 3-16). The segment is represented by the
 	// running mean histogram of its members.
 	var segments []Segment
 	segStart := 0
 	segHist := cloneHist(hists[0])
 	segLen := 1
-	for k := 1; k < v.Len(); k++ {
+	for k := 1; k < len(hists); k++ {
 		sim := segHist.Similarity(hists[k], cfg.Alpha, cfg.Beta, cfg.Gamma)
 		tooLong := cfg.MaxSegmentLen > 0 && segLen >= cfg.MaxSegmentLen
 		if sim >= cfg.Tau && !tooLong {
@@ -117,7 +141,7 @@ func ExtractRT(v *vid.Video, cfg Config, rt obs.Runtime) (*Result, error) {
 		segHist = cloneHist(hists[k])
 		segLen = 1
 	}
-	segments = append(segments, finishSegment(segStart, v.Len()-1, hists, cfg))
+	segments = append(segments, finishSegment(segStart, len(hists)-1, hists, cfg))
 
 	res := &Result{Segments: segments}
 	for _, s := range segments {

@@ -53,6 +53,7 @@ func NewPrivLeak(fmtSinkPrefixes ...string) *Analyzer {
 		),
 		Sanitizers: set(
 			"verro/internal/core.Sanitize",
+			"verro/internal/core.SanitizeStream",
 			"verro/internal/core.SanitizeMultiType",
 			"verro/internal/core.SanitizeJoint",
 			"verro/internal/core.RunPhase1",

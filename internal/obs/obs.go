@@ -60,6 +60,12 @@ const (
 	CObjectsRendered = "objects_rendered"
 	// CFramesRendered counts synthetic frames produced by Phase II.
 	CFramesRendered = "frames_rendered"
+	// CWindows counts bounded-memory streaming windows driven through a
+	// pass (analysis or render) of the windowed pipeline.
+	CWindows = "windows"
+	// CWindowFrames counts fresh (non-overlap) frames presented across all
+	// streaming windows of a pass.
+	CWindowFrames = "window_frames"
 )
 
 // Span is one timed stage of a run. Spans nest; a nil *Span is the disabled

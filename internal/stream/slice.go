@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+
+	"verro/internal/img"
+)
+
+// SliceSource adapts an in-memory frame slice to the Source interface. It
+// does not copy frames, so it offers no memory saving by itself — it exists
+// so the windowed drivers can be run (and equivalence-tested) against
+// already-decoded videos through the exact code path a file source uses.
+type SliceSource struct {
+	meta   Meta
+	frames []*img.Image
+	pos    int
+}
+
+// NewSliceSource wraps frames under the given metadata. meta.Frames is
+// overridden with len(frames) so the two can never disagree.
+func NewSliceSource(meta Meta, frames []*img.Image) *SliceSource {
+	meta.Frames = len(frames)
+	return &SliceSource{meta: meta, frames: frames}
+}
+
+// Meta implements Source.
+func (s *SliceSource) Meta() Meta { return s.meta }
+
+// Next implements Source.
+func (s *SliceSource) Next(budget int) ([]*img.Image, int, error) {
+	if s.pos >= len(s.frames) {
+		return nil, s.pos, io.EOF
+	}
+	end := len(s.frames)
+	if budget > 0 && s.pos+budget < end {
+		end = s.pos + budget
+	}
+	start := s.pos
+	out := s.frames[start:end]
+	s.pos = end
+	return out, start, nil
+}
+
+// Reset implements Source.
+func (s *SliceSource) Reset() error {
+	s.pos = 0
+	return nil
+}
+
+// Close implements Source.
+func (s *SliceSource) Close() error { return nil }
+
+// CollectSink gathers output windows into an in-memory frame slice — the
+// sink behind the in-memory streaming path (Config.WindowFrames with a
+// *vid.Video input), where the caller wants the whole synthetic video back.
+type CollectSink struct {
+	Frames []*img.Image
+	closed bool
+}
+
+// Append implements Sink.
+func (c *CollectSink) Append(frames []*img.Image) error {
+	if c.closed {
+		return fmt.Errorf("stream: append to closed sink")
+	}
+	c.Frames = append(c.Frames, frames...)
+	return nil
+}
+
+// Close implements Sink.
+func (c *CollectSink) Close() error {
+	c.closed = true
+	return nil
+}

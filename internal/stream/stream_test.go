@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"verro/internal/img"
+)
+
+// mkFrames builds n tiny frames whose first pixel byte encodes their index,
+// so a test stage can verify exactly which frames it was shown.
+func mkFrames(n int) []*img.Image {
+	out := make([]*img.Image, n)
+	for i := range out {
+		f := img.New(2, 2)
+		f.Pix[0] = uint8(i)
+		out[i] = f
+	}
+	return out
+}
+
+func testSource(n int) *SliceSource {
+	return NewSliceSource(Meta{Name: "t", W: 2, H: 2, FPS: 1}, mkFrames(n))
+}
+
+// recorder captures every window a stage is shown.
+type recorder struct {
+	name    string
+	overlap int
+	windows []Window
+	flushed bool
+	procErr error
+}
+
+func (r *recorder) Name() string { return r.name }
+func (r *recorder) Overlap() int { return r.overlap }
+func (r *recorder) Process(w Window) error {
+	// Deep-copy the frame list; the driver may reuse nothing, but the test
+	// should not depend on that.
+	cp := w
+	cp.Frames = append([]*img.Image(nil), w.Frames...)
+	r.windows = append(r.windows, cp)
+	return r.procErr
+}
+func (r *recorder) Flush() error {
+	r.flushed = true
+	return nil
+}
+
+// frameIndex recovers the clip index a mkFrames frame encodes.
+func frameIndex(f *img.Image) int { return int(f.Pix[0]) }
+
+// checkWindows verifies a recorder saw the whole clip exactly once through
+// its fresh frames, with correct Start/Fresh/Last bookkeeping and at most
+// overlap repeated frames per window.
+func checkWindows(t *testing.T, r *recorder, clip, budget int) {
+	t.Helper()
+	next := 0
+	for wi, w := range r.windows {
+		if w.Start+w.Fresh != next {
+			t.Fatalf("window %d: fresh frames start at %d, want %d", wi, w.Start+w.Fresh, next)
+		}
+		if w.Fresh > r.overlap {
+			t.Fatalf("window %d: %d overlap frames exceed declared overlap %d", wi, w.Fresh, r.overlap)
+		}
+		if fresh := len(w.Frames) - w.Fresh; budget > 0 && fresh > budget {
+			t.Fatalf("window %d: %d fresh frames exceed budget %d", wi, fresh, budget)
+		}
+		for i, f := range w.Frames {
+			if got, want := frameIndex(f), w.Start+i; got != want {
+				t.Fatalf("window %d: frame %d holds clip frame %d, want %d", wi, i, got, want)
+			}
+		}
+		next = w.Start + len(w.Frames)
+		if w.Last != (next >= clip) {
+			t.Fatalf("window %d: Last=%v at frame %d of %d", wi, w.Last, next, clip)
+		}
+	}
+	if next != clip {
+		t.Fatalf("stages saw %d frames, want %d", next, clip)
+	}
+	if !r.flushed {
+		t.Fatal("stage never flushed")
+	}
+}
+
+func TestRunPartitionsClip(t *testing.T) {
+	for _, tc := range []struct{ clip, budget, overlap int }{
+		{10, 3, 0},  // final partial window
+		{10, 5, 0},  // exact division
+		{10, 1, 0},  // window == 1
+		{10, 64, 0}, // window > clip
+		{10, 0, 0},  // whole-clip window
+		{10, 3, 2},  // overlap smaller than budget
+		{10, 2, 5},  // overlap larger than budget: tail spans windows
+		{1, 4, 2},   // single-frame clip
+	} {
+		name := fmt.Sprintf("clip=%d,budget=%d,overlap=%d", tc.clip, tc.budget, tc.overlap)
+		t.Run(name, func(t *testing.T) {
+			r := &recorder{name: "rec", overlap: tc.overlap}
+			if err := Run(testSource(tc.clip), tc.budget, nil, r); err != nil {
+				t.Fatal(err)
+			}
+			checkWindows(t, r, tc.clip, tc.budget)
+		})
+	}
+}
+
+func TestRunOverlapRepresentsTail(t *testing.T) {
+	// With budget 3 and overlap 2, every window after the first must start
+	// with exactly the 2 frames preceding its fresh range.
+	r := &recorder{name: "rec", overlap: 2}
+	if err := Run(testSource(11), 3, nil, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.windows) != 4 {
+		t.Fatalf("got %d windows, want 4", len(r.windows))
+	}
+	for wi, w := range r.windows[1:] {
+		if w.Fresh != 2 {
+			t.Fatalf("window %d: Fresh=%d, want 2", wi+1, w.Fresh)
+		}
+	}
+	if r.windows[0].Fresh != 0 {
+		t.Fatalf("first window has Fresh=%d, want 0", r.windows[0].Fresh)
+	}
+}
+
+func TestRunMixedOverlaps(t *testing.T) {
+	// Stages with different overlaps share one pass but each sees its own
+	// prefix; the no-overlap stage must never see a repeat.
+	a := &recorder{name: "a", overlap: 0}
+	b := &recorder{name: "b", overlap: 3}
+	if err := Run(testSource(9), 4, nil, a, b); err != nil {
+		t.Fatal(err)
+	}
+	checkWindows(t, a, 9, 4)
+	checkWindows(t, b, 9, 4)
+	for wi, w := range a.windows {
+		if w.Fresh != 0 {
+			t.Fatalf("no-overlap stage saw repeats in window %d", wi)
+		}
+	}
+}
+
+func TestRunEmptyStreamFlushes(t *testing.T) {
+	r := &recorder{name: "rec"}
+	if err := Run(testSource(0), 4, nil, r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.windows) != 0 {
+		t.Fatalf("empty stream produced %d windows", len(r.windows))
+	}
+	if !r.flushed {
+		t.Fatal("empty stream did not flush stages")
+	}
+}
+
+func TestRunNoStages(t *testing.T) {
+	if err := Run(testSource(4), 2, nil); !errors.Is(err, ErrNoStages) {
+		t.Fatalf("got %v, want ErrNoStages", err)
+	}
+}
+
+func TestRunStageErrorNamed(t *testing.T) {
+	boom := errors.New("boom")
+	r := &recorder{name: "exploder", procErr: boom}
+	err := Run(testSource(4), 2, nil, r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want wrapped boom", err)
+	}
+	if want := "stream: stage exploder:"; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("error %q does not name the failing stage", err)
+	}
+}
+
+func TestRunOnWindowHook(t *testing.T) {
+	var order []string
+	hooked := &recorder{name: "rec"}
+	hook := func(w Window) func() {
+		order = append(order, fmt.Sprintf("pre%d", w.Start))
+		return func() { order = append(order, fmt.Sprintf("post%d", w.Start)) }
+	}
+	if err := Run(testSource(4), 2, hook, hooked); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"pre0", "post0", "pre2", "post2"}
+	if len(order) != len(want) {
+		t.Fatalf("hook calls %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("hook calls %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	src := testSource(5)
+	read := func() int {
+		n := 0
+		for {
+			fs, _, err := src.Next(2)
+			if err != nil {
+				break
+			}
+			n += len(fs)
+		}
+		return n
+	}
+	if n := read(); n != 5 {
+		t.Fatalf("first pass read %d frames, want 5", n)
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if n := read(); n != 5 {
+		t.Fatalf("second pass read %d frames, want 5", n)
+	}
+}
+
+func TestCollectSink(t *testing.T) {
+	var sink CollectSink
+	if err := sink.Append(mkFrames(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Append(mkFrames(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.Frames) != 5 {
+		t.Fatalf("collected %d frames, want 5", len(sink.Frames))
+	}
+	if err := sink.Append(mkFrames(1)); err == nil {
+		t.Fatal("append after close did not fail")
+	}
+}

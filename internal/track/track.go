@@ -280,3 +280,73 @@ func RunRT(frames []*img.Image, det detect.Detector, cfg Config, rt obs.Runtime)
 	tspan.Add(obs.CTracksConfirmed, int64(len(set.Tracks)))
 	return set, nil
 }
+
+// Runner is the windowed form of Run for the streaming pipeline: the caller
+// feeds consecutive frame windows to Window and collects the tracks with
+// Finish. Within a window detection shards over the pool exactly as RunRT
+// does; the stateful tracker consumes frames strictly in clip order across
+// windows. Detection is pure per frame and Step order is identical, so the
+// final track set is bit-identical to RunRT over the concatenated frames —
+// while only one window of pixels is alive at a time.
+type Runner struct {
+	det     detect.Detector
+	tr      *Tracker
+	rt      obs.Runtime
+	dspan   *obs.Span
+	tspan   *obs.Span
+	nFrames int64
+	nDets   int64
+}
+
+// NewRunnerRT builds a windowed runner; detectors implementing
+// obs.SpanSetter are rebound to the runner's detect span as in RunRT.
+func NewRunnerRT(det detect.Detector, cfg Config, rt obs.Runtime) *Runner {
+	dspan := rt.Span.Child("detect")
+	if s, ok := det.(obs.SpanSetter); ok {
+		s.SetSpan(dspan)
+	}
+	return &Runner{
+		det:   det,
+		tr:    New(cfg),
+		rt:    rt,
+		dspan: dspan,
+		tspan: rt.Span.Child("track"),
+	}
+}
+
+// Window detects the next consecutive run of frames on the pool and folds
+// them through the tracker in frame order.
+func (r *Runner) Window(frames []*img.Image) error {
+	type detResult struct {
+		dets []detect.Detection
+		err  error
+	}
+	results := par.MapPool(r.rt.Pool, len(frames), 1, func(i int) detResult {
+		ds, err := r.det.Detect(frames[i])
+		return detResult{dets: ds, err: err}
+	})
+	r.nFrames += int64(len(frames))
+	for i, f := range frames {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		r.nDets += int64(len(results[i].dets))
+		if err := r.tr.Step(f, results[i].dets); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish closes the spans with their totals and returns the confirmed
+// tracks.
+func (r *Runner) Finish() (*motio.TrackSet, error) {
+	set := r.tr.Tracks()
+	r.dspan.Add(obs.CFramesDetected, r.nFrames)
+	r.dspan.Add(obs.CDetections, r.nDets)
+	r.dspan.End()
+	r.tspan.Add(obs.CFramesTracked, r.nFrames)
+	r.tspan.Add(obs.CTracksConfirmed, int64(len(set.Tracks)))
+	r.tspan.End()
+	return set, nil
+}

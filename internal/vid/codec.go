@@ -1,17 +1,11 @@
 package vid
 
 import (
-	"bufio"
 	"compress/gzip"
-	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
-
-	"verro/internal/img"
 )
 
 // The .vvf container: a small header followed by gzip-compressed frame
@@ -19,6 +13,11 @@ import (
 // as the byte-wise delta from its predecessor, which compresses extremely
 // well for surveillance footage where consecutive frames are near-identical
 // — the same temporal redundancy the paper's key-frame extraction exploits.
+//
+// The codec itself lives in stream.go as a windowed Writer/Reader pair;
+// the whole-video Encode/Decode entry points here are wrappers over them,
+// so the batch and streaming paths share one implementation and their
+// byte streams are identical by construction.
 
 const (
 	vvfMagic   = "VVF1"
@@ -31,128 +30,52 @@ const (
 // ErrFormat reports a malformed .vvf stream.
 var ErrFormat = errors.New("vid: invalid vvf stream")
 
+// newVVFCompressor wraps w in the container's compressor (gzip at
+// BestSpeed). Both the batch and windowed writers go through here so the
+// compressed stream never depends on which path produced it.
+func newVVFCompressor(w io.Writer) (io.WriteCloser, error) {
+	return gzip.NewWriterLevel(w, gzip.BestSpeed)
+}
+
+// newVVFDecompressor opens the container's decompressor over r.
+func newVVFDecompressor(r io.Reader) (io.ReadCloser, error) {
+	return gzip.NewReader(r)
+}
+
 // Encode writes v to w in .vvf format and returns the number of compressed
 // payload bytes written (the "bandwidth" of Table 3).
 func Encode(w io.Writer, v *Video) (int64, error) {
-	cw := &countWriter{w: w}
-	bw := bufio.NewWriter(cw)
-
-	if _, err := bw.WriteString(vvfMagic); err != nil {
-		return 0, err
-	}
-	header := []any{
-		uint32(v.W), uint32(v.H), uint32(len(v.Frames)),
-		math.Float64bits(v.FPS), boolByte(v.Moving),
-		uint16(len(v.Name)),
-	}
-	for _, h := range header {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
-			return 0, err
-		}
-	}
-	if _, err := bw.WriteString(v.Name); err != nil {
-		return 0, err
-	}
-
-	zw, err := gzip.NewWriterLevel(bw, gzip.BestSpeed)
+	sw, err := NewWriter(w, MetaOf(v))
 	if err != nil {
 		return 0, err
 	}
-	var prev []uint8
-	buf := make([]uint8, 0)
-	for i, f := range v.Frames {
-		kind := byte(frameRaw)
-		payload := f.Pix
-		if i > 0 {
-			kind = frameDelta
-			if cap(buf) < len(f.Pix) {
-				buf = make([]uint8, len(f.Pix))
-			}
-			buf = buf[:len(f.Pix)]
-			for j := range f.Pix {
-				buf[j] = f.Pix[j] - prev[j]
-			}
-			payload = buf
-		}
-		if _, err := zw.Write([]byte{kind}); err != nil {
-			return 0, err
-		}
-		if _, err := zw.Write(payload); err != nil {
-			return 0, err
-		}
-		prev = f.Pix
-	}
-	if err := zw.Close(); err != nil {
+	if err := sw.Append(v.Frames); err != nil {
 		return 0, err
 	}
-	if err := bw.Flush(); err != nil {
+	if err := sw.Close(); err != nil {
 		return 0, err
 	}
-	return cw.n, nil
+	return sw.Written(), nil
 }
 
 // Decode reads a .vvf stream back into a Video.
 func Decode(r io.Reader) (*Video, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(vvfMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-	if string(magic) != vvfMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
-	}
-	var w32, h32, n32 uint32
-	var fpsBits uint64
-	var moving uint8
-	var nameLen uint16
-	for _, dst := range []any{&w32, &h32, &n32, &fpsBits, &moving, &nameLen} {
-		if err := binary.Read(br, binary.LittleEndian, dst); err != nil {
-			return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
-		}
-	}
-	if w32 > maxDim || h32 > maxDim || n32 > maxFrames {
-		return nil, fmt.Errorf("%w: implausible geometry %dx%d×%d", ErrFormat, w32, h32, n32)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("%w: name: %v", ErrFormat, err)
-	}
-
-	v := New(string(name), int(w32), int(h32), math.Float64frombits(fpsBits))
-	v.Moving = moving != 0
-
-	zr, err := gzip.NewReader(br)
+	sr, err := NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: gzip: %v", ErrFormat, err)
+		return nil, err
 	}
-	defer zr.Close()
-
-	frameBytes := int(w32) * int(h32) * 3
-	var prev []uint8
-	for i := 0; i < int(n32); i++ {
-		kind := make([]byte, 1)
-		if _, err := io.ReadFull(zr, kind); err != nil {
-			return nil, fmt.Errorf("%w: frame %d kind: %v", ErrFormat, i, err)
+	meta := sr.Meta()
+	v := New(meta.Name, meta.W, meta.H, meta.FPS)
+	v.Moving = meta.Moving
+	for {
+		frames, _, err := sr.Next(0)
+		if err == io.EOF {
+			break
 		}
-		pix := make([]uint8, frameBytes)
-		if _, err := io.ReadFull(zr, pix); err != nil {
-			return nil, fmt.Errorf("%w: frame %d payload: %v", ErrFormat, i, err)
+		if err != nil {
+			return nil, err
 		}
-		switch kind[0] {
-		case frameRaw:
-		case frameDelta:
-			if prev == nil {
-				return nil, fmt.Errorf("%w: delta frame %d without base", ErrFormat, i)
-			}
-			for j := range pix {
-				pix[j] += prev[j]
-			}
-		default:
-			return nil, fmt.Errorf("%w: frame %d unknown kind %d", ErrFormat, i, kind[0])
-		}
-		f := &img.Image{W: v.W, H: v.H, Pix: pix}
-		v.Frames = append(v.Frames, f)
-		prev = pix
+		v.Frames = append(v.Frames, frames...)
 	}
 	return v, nil
 }
@@ -187,7 +110,7 @@ func ReadFile(path string) (*Video, error) {
 	return Decode(f)
 }
 
-// EncodedSize returns the compressed byte size of v without keeping the
+// EncodedSize returns the compressed .vvf size of v without keeping the
 // stream — the Table 3 "bandwidth" figure.
 func EncodedSize(v *Video) (int64, error) {
 	return Encode(io.Discard, v)

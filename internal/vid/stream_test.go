@@ -1,0 +1,210 @@
+package vid
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verro/internal/img"
+)
+
+// testVideo builds a deterministic n-frame video with enough per-frame
+// variation to exercise both raw and delta coding.
+func streamTestVideo(n int) *Video {
+	v := New("stream-test", 16, 12, 25)
+	v.Moving = true
+	for k := 0; k < n; k++ {
+		f := img.New(16, 12)
+		for i := range f.Pix {
+			f.Pix[i] = uint8((i*3 + k*17) % 256)
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v
+}
+
+// TestWriterMatchesEncode proves the windowed writer emits byte-identical
+// streams to the batch encoder, whatever the append granularity.
+func TestWriterMatchesEncode(t *testing.T) {
+	v := streamTestVideo(11)
+	var batch bytes.Buffer
+	if _, err := Encode(&batch, v); err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 3, 4, 11, 64} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, MetaOf(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < v.Len(); lo += window {
+			hi := lo + window
+			if hi > v.Len() {
+				hi = v.Len()
+			}
+			if err := w.Append(v.Frames[lo:hi]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batch.Bytes(), buf.Bytes()) {
+			t.Fatalf("window=%d: incremental stream differs from batch Encode", window)
+		}
+		if w.Written() != int64(buf.Len()) {
+			t.Fatalf("window=%d: Written()=%d, wrote %d bytes", window, w.Written(), buf.Len())
+		}
+	}
+}
+
+// TestReaderMatchesDecode proves windowed decoding reproduces the batch
+// decoder frame for frame at every window size, including partial tails.
+func TestReaderMatchesDecode(t *testing.T) {
+	v := streamTestVideo(10)
+	var buf bytes.Buffer
+	if _, err := Encode(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	for _, window := range []int{1, 3, 10, 0, 99} {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := r.Meta(); m.Name != v.Name || m.W != v.W || m.H != v.H ||
+			m.FPS != v.FPS || m.Moving != v.Moving || m.Frames != v.Len() {
+			t.Fatalf("window=%d: meta %+v does not match video", window, m)
+		}
+		got := 0
+		for {
+			frames, start, err := r.Next(window)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if start != got {
+				t.Fatalf("window=%d: run starts at %d, want %d", window, start, got)
+			}
+			for i, f := range frames {
+				if !bytes.Equal(f.Pix, v.Frames[start+i].Pix) {
+					t.Fatalf("window=%d: frame %d differs", window, start+i)
+				}
+			}
+			got += len(frames)
+		}
+		if got != v.Len() {
+			t.Fatalf("window=%d: decoded %d frames, want %d", window, got, v.Len())
+		}
+	}
+}
+
+func TestWriterFrameCountEnforced(t *testing.T) {
+	v := streamTestVideo(4)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, MetaOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(v.Frames[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("short close did not fail")
+	}
+
+	w2, err := NewWriter(&buf, MetaOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(v.Frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(v.Frames[:1]); err == nil {
+		t.Fatal("over-append did not fail")
+	}
+}
+
+func TestFileSourceResetAndSink(t *testing.T) {
+	v := streamTestVideo(9)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.vvf")
+	if _, err := WriteFile(in, v); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenFileSource(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.Meta().Frames != 9 {
+		t.Fatalf("meta frames = %d, want 9", src.Meta().Frames)
+	}
+
+	// Two passes over the same source, as the two-pass sanitizer performs.
+	for pass := 0; pass < 2; pass++ {
+		total := 0
+		for {
+			frames, start, err := src.Next(4)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, f := range frames {
+				if !bytes.Equal(f.Pix, v.Frames[start+i].Pix) {
+					t.Fatalf("pass %d: frame %d differs", pass, start+i)
+				}
+			}
+			total += len(frames)
+		}
+		if total != 9 {
+			t.Fatalf("pass %d: read %d frames, want 9", pass, total)
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Stream the frames through a FileSink and compare against WriteFile.
+	out := filepath.Join(dir, "out.vvf")
+	sink, err := CreateFileSink(out, MetaOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < v.Len(); lo += 4 {
+		hi := lo + 4
+		if hi > v.Len() {
+			hi = v.Len()
+		}
+		if err := sink.Append(v.Frames[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("file written through FileSink differs from batch WriteFile")
+	}
+	back, err := ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != v.Len() || back.Name != v.Name {
+		t.Fatalf("round trip lost metadata: %v", back)
+	}
+}

@@ -2,12 +2,16 @@ package verro
 
 import (
 	"fmt"
+	"io"
 
 	"verro/internal/detect"
+	"verro/internal/img"
 	"verro/internal/obs"
 	"verro/internal/par"
 	"verro/internal/scene"
+	"verro/internal/stream"
 	"verro/internal/track"
+	"verro/internal/vid"
 )
 
 // PipelineConfig tunes the detection→tracking preprocessing that turns raw
@@ -35,6 +39,11 @@ type PipelineConfig struct {
 	// and worker-pool gauges. Nil disables all instrumentation at zero cost;
 	// tracing never perturbs the output.
 	Trace *Trace
+	// WindowFrames, when positive, runs detection and tracking as a
+	// bounded-memory streaming pass over at most WindowFrames frames at a
+	// time; 0 keeps the whole-clip batch path. Both paths produce
+	// bit-identical tracks for the same configuration.
+	WindowFrames int
 }
 
 // DetectorKind selects a detection algorithm.
@@ -61,10 +70,15 @@ func DefaultPipelineConfig() PipelineConfig {
 }
 
 // DetectAndTrack runs detection and tracking over the video and returns
-// the recovered object tracks — the preprocessing stage of Figure 2.
+// the recovered object tracks — the preprocessing stage of Figure 2. With
+// cfg.WindowFrames > 0 the run is delegated to the windowed streaming
+// driver (see DetectAndTrackStream), whose output is bit-identical.
 func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 	if v == nil || v.Len() == 0 {
 		return nil, fmt.Errorf("verro: empty video")
+	}
+	if cfg.WindowFrames > 0 {
+		return DetectAndTrackStream(stream.NewSliceSource(vid.MetaOf(v), v.Frames), cfg)
 	}
 	// A scoped pool (not the former global SetWorkers save/restore, which was
 	// non-reentrant) so concurrent calls with different Workers each get
@@ -101,4 +115,104 @@ func DetectAndTrack(v *Video, cfg PipelineConfig) (*TrackSet, error) {
 		return nil, fmt.Errorf("verro: tracking: %w", err)
 	}
 	return tracks, nil
+}
+
+// DetectAndTrackStream is DetectAndTrack over a bounded-memory frame
+// source. The background-subtraction detector needs its median background
+// before any detection, so that path makes two passes: a sampling pass
+// retaining only the ~40 strided frames the temporal median consumes, a
+// Reset, then a windowed detect-and-track pass. The HOG+SVM detector is
+// model-driven and needs a single pass. Tracks are bit-identical to the
+// batch path: the sample stack, the per-frame detections, and the tracker
+// step order are all exactly those of DetectAndTrack on the decoded clip.
+func DetectAndTrackStream(src stream.Source, cfg PipelineConfig) (*TrackSet, error) {
+	meta := src.Meta()
+	if meta.Frames == 0 {
+		return nil, fmt.Errorf("verro: empty video")
+	}
+	pool := par.NewPool(cfg.Workers)
+	cfg.Trace.AttachPool(pool)
+	root := cfg.Trace.Root()
+	var det detect.Detector
+	switch cfg.Detector {
+	case DetectorHOGSVM:
+		d, err := detect.NewPedestrianDetector(cfg.Style, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("verro: build detector: %w", err)
+		}
+		d.RT = obs.Runtime{Pool: pool}
+		det = d
+	case DetectorBackgroundSub:
+		step := cfg.BackgroundStep
+		if step <= 0 {
+			step = detect.AutoStep(meta.Frames)
+		}
+		bgSpan := root.Child("background")
+		bg, err := medianBackgroundStream(src, cfg.WindowFrames, step, obs.Runtime{Pool: pool, Span: bgSpan})
+		bgSpan.End()
+		if err != nil {
+			return nil, fmt.Errorf("verro: background model: %w", err)
+		}
+		if err := src.Reset(); err != nil {
+			return nil, fmt.Errorf("verro: rewind for detection pass: %w", err)
+		}
+		det = detect.NewBGSubtractor(bg)
+	default:
+		return nil, fmt.Errorf("verro: unknown detector %d", cfg.Detector)
+	}
+	runner := track.NewRunnerRT(det, cfg.Tracker, obs.Runtime{Pool: pool, Span: root})
+	err := forEachWindow(src, cfg.WindowFrames, func(frames []*img.Image, _ int) error {
+		return runner.Window(frames)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("verro: tracking: %w", err)
+	}
+	tracks, err := runner.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("verro: tracking: %w", err)
+	}
+	return tracks, nil
+}
+
+// medianBackgroundStream computes the background-subtraction median model
+// from a bounded sampling pass: it retains only the frames the batch
+// MedianBackgroundRT would stride onto (every step-th frame — at most ~40
+// under detect.AutoStep) and feeds them to the same median with step 1,
+// which stacks the identical samples and therefore returns the identical
+// model.
+func medianBackgroundStream(src stream.Source, window, step int, rt obs.Runtime) (*Image, error) {
+	if step < 1 {
+		step = 1
+	}
+	var samples []*img.Image
+	err := forEachWindow(src, window, func(frames []*img.Image, start int) error {
+		for i, f := range frames {
+			if (start+i)%step == 0 {
+				samples = append(samples, f)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return detect.MedianBackgroundRT(samples, 1, rt)
+}
+
+// forEachWindow drains the source in runs of at most window frames
+// (window <= 0 means one whole-clip run), invoking fn with each run and its
+// absolute start index.
+func forEachWindow(src stream.Source, window int, fn func([]*img.Image, int) error) error {
+	for {
+		frames, start, err := src.Next(window)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(frames, start); err != nil {
+			return err
+		}
+	}
 }

@@ -1,0 +1,166 @@
+package verro
+
+// End-of-stream and boundary-condition tests for the windowed pipeline: the
+// cases where window arithmetic is most likely to go wrong are clips shorter
+// than the background sampler's 9-frame clamp, final windows smaller than
+// the budget, and tracker state that must survive a window boundary (an
+// object whose track ends mid-window, so its miss-aging spans windows).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"verro/internal/geom"
+	"verro/internal/img"
+	"verro/internal/stream"
+	"verro/internal/vid"
+)
+
+// tinyEquivalence runs batch and streamed sanitization of the same clip and
+// requires identical synthetic frames, returning the streamed result for
+// further ledger checks. Tracks come from the batch detector; both paths
+// sanitize the same input.
+func tinyEquivalence(t *testing.T, v *Video, window int) *Result {
+	t.Helper()
+	tracks, err := DetectAndTrack(v, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamTracks, err := DetectAndTrackStream(stream.NewSliceSource(vid.MetaOf(v), v.Frames), PipelineConfig{
+		Detector:     DetectorBackgroundSub,
+		Tracker:      DefaultPipelineConfig().Tracker,
+		Seed:         1,
+		Style:        DefaultPipelineConfig().Style,
+		WindowFrames: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tracks, streamTracks) {
+		t.Fatal("windowed track recovery differs from batch")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Seed = 11
+	batch, err := Sanitize(v, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cfg
+	scfg.WindowFrames = window
+	streamed, err := Sanitize(v, tracks, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Synthetic.Frames) != len(streamed.Synthetic.Frames) {
+		t.Fatalf("frame count: batch %d, streamed %d", len(batch.Synthetic.Frames), len(streamed.Synthetic.Frames))
+	}
+	for i := range batch.Synthetic.Frames {
+		if !batch.Synthetic.Frames[i].Equal(streamed.Synthetic.Frames[i]) {
+			t.Fatalf("frame %d differs between batch and streamed runs", i)
+		}
+	}
+	if batch.Epsilon != streamed.Epsilon {
+		t.Fatalf("epsilon: batch %v, streamed %v", batch.Epsilon, streamed.Epsilon)
+	}
+	return streamed
+}
+
+// shortClip generates a scaled MOT01 clip of exactly n frames.
+func shortClip(t *testing.T, n int) *Video {
+	t.Helper()
+	preset, err := BenchmarkPreset("MOT01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := preset.Scaled(equivScale)
+	p.Frames = n
+	p.Name = fmt.Sprintf("edge-%d", n)
+	g, err := GenerateBenchmark(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Video
+}
+
+// TestStreamShortClip streams a clip shorter than the background sampler's
+// 9-frame clamp (detect.AutoStep retains at least 9 samples when it can):
+// with 5 frames every frame is a background sample and the final window is
+// the whole clip.
+func TestStreamShortClip(t *testing.T) {
+	v := shortClip(t, 5)
+	res := tinyEquivalence(t, v, 2)
+	if len(res.Windows) != 3 {
+		t.Fatalf("5 frames at window 2 should make 3 ledger windows, got %d", len(res.Windows))
+	}
+}
+
+// TestStreamPartialFinalWindow checks the last window carrying fewer frames
+// than the budget: 21 frames at window 9 must partition 9/9/3 in the ledger
+// and still match the batch output.
+func TestStreamPartialFinalWindow(t *testing.T) {
+	v := shortClip(t, 21)
+	res := tinyEquivalence(t, v, 9)
+	var sizes []int
+	for _, w := range res.Windows {
+		sizes = append(sizes, w.Frames)
+	}
+	if !reflect.DeepEqual(sizes, []int{9, 9, 3}) {
+		t.Fatalf("ledger window sizes = %v, want [9 9 3]", sizes)
+	}
+}
+
+// TestStreamTrackerHandoff exercises tracker state across a window
+// boundary: a single bright object crosses the clip and disappears
+// mid-window (frame 14 of 24 at window 8, so its post-exit miss-aging spans
+// the second and third windows). The windowed tracker must report exactly
+// the batch tracker's tracks, and the object's recovered track must end
+// around its true exit, not at a window boundary.
+func TestStreamTrackerHandoff(t *testing.T) {
+	const (
+		w, h     = 64, 48
+		nFrames  = 24
+		lastSeen = 13 // object present in frames 0..13, gone from 14 on
+		window   = 8
+	)
+	v := NewVideo("handoff", w, h, 30)
+	bg := img.RGB{R: 40, G: 40, B: 40}
+	fg := img.RGB{R: 230, G: 220, B: 90}
+	for i := 0; i < nFrames; i++ {
+		f := img.NewFilled(w, h, bg)
+		if i <= lastSeen {
+			x := 4 + i*2
+			f.Fill(geom.R(x, 16, x+10, 30), fg)
+		}
+		v.Frames = append(v.Frames, f)
+	}
+
+	batch, err := DetectAndTrack(v, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultPipelineConfig()
+	pcfg.WindowFrames = window
+	streamed, err := DetectAndTrack(v, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batch, streamed) {
+		t.Fatal("windowed tracks differ from batch across the exit boundary")
+	}
+	if len(streamed.Tracks) != 1 {
+		t.Fatalf("expected 1 recovered track, got %d", len(streamed.Tracks))
+	}
+	tr := streamed.Tracks[0]
+	first, last, ok := tr.Span()
+	if !ok {
+		t.Fatal("recovered track is empty")
+	}
+	if first > 2 {
+		t.Fatalf("track starts at frame %d, expected near 0", first)
+	}
+	if last < lastSeen-1 || last > lastSeen {
+		t.Fatalf("track ends at frame %d, expected the true exit around %d (not a window boundary)", last, lastSeen)
+	}
+}

@@ -1,0 +1,220 @@
+package verro
+
+// The streaming-equivalence suite is the proof obligation of the bounded-
+// memory pipeline (internal/stream and the windowed drivers): sanitizing a
+// clip window by window must produce byte-identical artifacts to the batch
+// path — same recovered tracks, same randomized presence vectors, same
+// synthetic tracks, same frames, same encoded .vvf stream — at every window
+// size and worker count, because windowing is a memory strategy, not a
+// semantic knob. It also pins the per-window privacy ledger to the batch ε:
+// integer picked-key-frame counts per window must sum to the run's K, and
+// the recomposed K·ln((2−f)/f) must equal the batch Epsilon bit for bit.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"verro/internal/vid"
+)
+
+// streamEquivCases are the window budgets the acceptance criteria name:
+// small overlapping-run windows, a mid window, a window larger than the
+// scaled clips, and 0 for one whole-clip window.
+var streamEquivCases = []int{9, 16, 64, 0}
+
+// runPipelineStream executes the same seeded pipeline as runPipelineWith
+// but windowed: detection+tracking and the sanitizer both stream with the
+// given window budget, and the epsilon/ledger diagnostics are captured for
+// the accounting checks.
+func runPipelineStream(t *testing.T, name string, window, workers int) (pipelineArtifacts, *Result) {
+	t.Helper()
+	preset, err := BenchmarkPreset(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(equivScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultPipelineConfig()
+	pcfg.Workers = workers
+	pcfg.WindowFrames = window
+	if window <= 0 {
+		// "whole-clip window": still routed through the streaming driver.
+		pcfg.WindowFrames = g.Video.Len()
+	}
+	tracks, err := DetectAndTrack(g.Video, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Workers = workers
+	cfg.WindowFrames = pcfg.WindowFrames
+	res, err := Sanitize(g.Video, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var presence [][]bool
+	for _, v := range res.Phase1.Output {
+		presence = append(presence, []bool(v))
+	}
+	var buf bytes.Buffer
+	if _, err := vid.Encode(&buf, res.Synthetic); err != nil {
+		t.Fatal(err)
+	}
+	return pipelineArtifacts{
+		tracks:    tracks,
+		presence:  presence,
+		synTracks: res.SyntheticTracks,
+		synFrames: res.Synthetic.Frames,
+		encoded:   buf.Bytes(),
+	}, res
+}
+
+// checkWindowLedger verifies the per-window privacy accounting recomposes
+// exactly: windows partition the clip, integer picked counts sum to the
+// run's K, and the closed-form total over that K equals the batch ε with
+// zero float drift.
+func checkWindowLedger(t *testing.T, res *Result, clipLen int) {
+	t.Helper()
+	if len(res.Windows) == 0 {
+		t.Fatal("streaming run recorded no window ledger")
+	}
+	next, picked := 0, 0
+	var epsSum float64
+	for i, w := range res.Windows {
+		if w.Start != next {
+			t.Fatalf("ledger window %d starts at %d, want %d", i, w.Start, next)
+		}
+		next += w.Frames
+		picked += w.Picked
+		epsSum += w.Epsilon
+	}
+	if next != clipLen {
+		t.Fatalf("ledger covers %d frames, clip has %d", next, clipLen)
+	}
+	if picked != len(res.Phase1.Picked) {
+		t.Fatalf("ledger picked %d key frames, phase 1 picked %d", picked, len(res.Phase1.Picked))
+	}
+	recomposed := float64(picked) * math.Log((2-res.Phase1.F)/res.Phase1.F)
+	if recomposed != res.Epsilon {
+		t.Fatalf("recomposed epsilon %v != batch epsilon %v", recomposed, res.Epsilon)
+	}
+	// The float sum of the per-window entries is the same ledger viewed
+	// additively; it may differ from the closed form only by accumulation
+	// order, so it gets a tolerance while the integer path above is exact.
+	if math.Abs(epsSum-res.Epsilon) > 1e-9*math.Max(1, math.Abs(res.Epsilon)) {
+		t.Fatalf("summed window epsilon %v drifts from %v", epsSum, res.Epsilon)
+	}
+}
+
+// TestStreamEquivalence proves windowing is memory-only: the streamed
+// pipeline reproduces the batch pipeline's artifacts byte for byte on all
+// three benchmark presets, across the acceptance-criteria window sizes and
+// worker counts, and its privacy ledger recomposes to the batch ε exactly.
+func TestStreamEquivalence(t *testing.T) {
+	for _, name := range []string{"MOT01", "MOT03", "MOT06"} {
+		t.Run(name, func(t *testing.T) {
+			batch := runPipelineWith(t, name, 1, nil)
+			for _, window := range streamEquivCases {
+				for _, workers := range []int{1, 4} {
+					t.Run(fmt.Sprintf("window=%d/workers=%d", window, workers), func(t *testing.T) {
+						streamed, res := runPipelineStream(t, name, window, workers)
+						compareArtifacts(t, batch, streamed)
+						checkWindowLedger(t, res, len(batch.synFrames))
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestStreamFileToFile proves the full disk-to-disk streaming path — .vvf
+// windowed decode, two-pass detect/track, windowed sanitize, windowed .vvf
+// encode — writes a file byte-identical to the batch path's WriteVideo, and
+// that the streaming track recovery matches the batch tracker.
+func TestStreamFileToFile(t *testing.T) {
+	preset, err := BenchmarkPreset("MOT01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GenerateBenchmark(preset.Scaled(equivScale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.vvf")
+	if _, err := WriteVideo(in, g.Video); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch reference: everything in memory.
+	tracks, err := DetectAndTrack(g.Video, DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	res, err := Sanitize(g.Video, tracks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, "batch.vvf")
+	if _, err := WriteVideo(want, res.Synthetic); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming run: decode from disk in windows, encode to disk in windows.
+	const window = 16
+	src, err := OpenVideoSource(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	pcfg := DefaultPipelineConfig()
+	pcfg.WindowFrames = window
+	streamTracks, err := DetectAndTrackStream(src, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tracks, streamTracks) {
+		t.Fatal("streamed track recovery differs from batch")
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	got := filepath.Join(dir, "stream.vvf")
+	sink, err := NewVideoSink(got, StreamOutputMeta(src.Meta()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cfg
+	scfg.WindowFrames = window
+	sres, err := SanitizeStream(src, streamTracks, scfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Synthetic != nil {
+		t.Fatal("streaming run materialized the synthetic clip in memory")
+	}
+	wantBytes, err := os.ReadFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBytes, gotBytes) {
+		t.Fatal("disk-to-disk streaming output differs from batch WriteVideo")
+	}
+	if !reflect.DeepEqual(res.SyntheticTracks, sres.SyntheticTracks) {
+		t.Fatal("streaming synthetic tracks differ from batch")
+	}
+}

@@ -1,0 +1,107 @@
+package verro
+
+// FuzzStreamWindow throws arbitrary clip-length/window-budget combinations
+// at the streaming pipeline — window larger than the clip, window of one
+// frame, budgets that divide the clip evenly or leave a one-frame tail, the
+// empty clip — and holds it to two properties: it never panics, and
+// whenever the batch pipeline succeeds the streamed pipeline produces the
+// byte-identical encoded output (and the same recovered tracks). Run the
+// seed corpus with `go test -run FuzzStreamWindow`; fuzz with
+// `go test -fuzz FuzzStreamWindow`.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"verro/internal/vid"
+)
+
+func FuzzStreamWindow(f *testing.F) {
+	// Seeds cover the acceptance-criteria shapes: empty clip, single frame,
+	// window == 1, window == clip, window > clip, partial final window.
+	f.Add(uint8(0), int16(4))
+	f.Add(uint8(1), int16(1))
+	f.Add(uint8(12), int16(1))
+	f.Add(uint8(12), int16(12))
+	f.Add(uint8(12), int16(64))
+	f.Add(uint8(21), int16(9))
+	f.Add(uint8(40), int16(16))
+
+	f.Fuzz(func(t *testing.T, nFrames uint8, window int16) {
+		frames := int(nFrames) % 41 // keep each case tiny on a 1-CPU host
+		w := int(window)
+		if w < 1 {
+			w = 1
+		}
+
+		preset, err := BenchmarkPreset("MOT01")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := preset.Scaled(0.15)
+		p.Frames = frames
+		p.Name = "fuzz"
+		p.Objects = 2
+
+		if frames == 0 {
+			// The generator refuses empty presets; the pipeline must refuse
+			// empty videos without panicking, on both paths.
+			v := NewVideo("fuzz-empty", p.W, p.H, p.FPS)
+			if _, err := DetectAndTrack(v, DefaultPipelineConfig()); err == nil {
+				t.Fatal("batch DetectAndTrack accepted an empty clip")
+			}
+			pcfg := DefaultPipelineConfig()
+			pcfg.WindowFrames = w
+			if _, err := DetectAndTrack(v, pcfg); err == nil {
+				t.Fatal("streamed DetectAndTrack accepted an empty clip")
+			}
+			return
+		}
+
+		g, err := GenerateBenchmark(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Batch reference. Tiny degenerate clips may be legitimately
+		// rejected (e.g. no objects survive tracking); the property then is
+		// that the streamed path rejects them too instead of panicking.
+		batchTracks, batchErr := DetectAndTrack(g.Video, DefaultPipelineConfig())
+		pcfg := DefaultPipelineConfig()
+		pcfg.WindowFrames = w
+		streamTracks, streamErr := DetectAndTrack(g.Video, pcfg)
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("track recovery disagreement: batch err=%v, streamed err=%v", batchErr, streamErr)
+		}
+		if batchErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(batchTracks, streamTracks) {
+			t.Fatalf("tracks differ for %d frames at window %d", frames, w)
+		}
+
+		cfg := DefaultConfig()
+		cfg.Seed = 3
+		batchRes, batchErr := Sanitize(g.Video, batchTracks, cfg)
+		scfg := cfg
+		scfg.WindowFrames = w
+		streamRes, streamErr := Sanitize(g.Video, streamTracks, scfg)
+		if (batchErr == nil) != (streamErr == nil) {
+			t.Fatalf("sanitize disagreement: batch err=%v, streamed err=%v", batchErr, streamErr)
+		}
+		if batchErr != nil {
+			return
+		}
+		var batchBuf, streamBuf bytes.Buffer
+		if _, err := vid.Encode(&batchBuf, batchRes.Synthetic); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vid.Encode(&streamBuf, streamRes.Synthetic); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(batchBuf.Bytes(), streamBuf.Bytes()) {
+			t.Fatalf("encoded outputs differ for %d frames at window %d", frames, w)
+		}
+	})
+}

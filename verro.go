@@ -31,6 +31,7 @@ import (
 	"verro/internal/motio"
 	"verro/internal/obs"
 	"verro/internal/scene"
+	"verro/internal/stream"
 	"verro/internal/vid"
 )
 
@@ -100,9 +101,57 @@ func NewTrack(id int, class string) *Track { return motio.NewTrack(id, class) }
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Sanitize runs the full VERRO pipeline over the video and its sensitive
-// object tracks. The input is not modified.
+// object tracks. The input is not modified. Setting Config.WindowFrames > 0
+// routes the run through the bounded-memory streaming driver; the output is
+// bit-identical to the batch path for the same seed.
 func Sanitize(v *Video, tracks *TrackSet, cfg Config) (*Result, error) {
 	return core.Sanitize(v, tracks, cfg)
+}
+
+// Bounded-memory streaming pipeline. A Source delivers frames in windows of
+// a caller-chosen budget and a Sink receives the sanitized frames the same
+// way, so arbitrarily long clips process in O(window) memory. Open a .vvf
+// file as a Source with OpenVideoSource, create the output with
+// NewVideoSink, and drive the pipeline with DetectAndTrackStream +
+// SanitizeStream (or set WindowFrames on the batch entry points to stream
+// over in-memory clips).
+type (
+	// StreamMeta is the frame-count/geometry header of a streamed video.
+	StreamMeta = stream.Meta
+	// StreamSource delivers a video's frames in bounded windows.
+	StreamSource = stream.Source
+	// StreamSink consumes sanitized frames in bounded windows.
+	StreamSink = stream.Sink
+	// WindowSpend is one streaming window's entry in the per-window privacy
+	// ledger (Result.Windows): the picked key frames falling inside the
+	// window and the ε they account for. The ledger recomposes exactly to
+	// the run's total ε.
+	WindowSpend = core.WindowSpend
+)
+
+// OpenVideoSource opens a .vvf file as a bounded-memory frame source;
+// frames decode window by window straight from disk.
+func OpenVideoSource(path string) (*vid.FileSource, error) { return vid.OpenFileSource(path) }
+
+// NewVideoSink creates a .vvf file that is encoded window by window as
+// frames arrive. The appended frames must total meta.Frames before Close.
+func NewVideoSink(path string, meta StreamMeta) (*vid.FileSink, error) {
+	return vid.CreateFileSink(path, meta)
+}
+
+// StreamOutputMeta derives the output sink metadata (the "-verro" name, same
+// geometry and timing) from a source's metadata.
+func StreamOutputMeta(in StreamMeta) StreamMeta { return core.OutputMeta(in) }
+
+// SanitizeStream runs the VERRO pipeline over a frame source in bounded
+// windows of cfg.WindowFrames frames, appending the synthetic video to sink
+// window by window. Output is bit-identical to Sanitize on the decoded clip
+// with the same cfg; peak memory stays O(WindowFrames) however long the
+// clip. The sink is closed on success; Result.Synthetic is nil (the frames
+// went to the sink) and Result.Windows carries the per-window privacy
+// ledger.
+func SanitizeStream(src StreamSource, tracks *TrackSet, cfg Config, sink StreamSink) (*Result, error) {
+	return core.SanitizeStream(src, tracks, cfg, sink)
 }
 
 // MultiTypeResult is the output of SanitizeMultiType.

@@ -3,14 +3,14 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-flow lint-absint fmt-check test test-stream race race-par fuzz bench bench-json clean
+.PHONY: check vet build lint lint-flow lint-absint fmt-check test test-stream test-server race race-par fuzz bench bench-json clean
 
 ## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
 ## the interval analyzers (-absint), gofmt, the streaming equivalence and
-## memory-ceiling suite, the targeted worker-pool race gate, the full race
-## suite, and a short fuzz pass. Fails on any new lint diagnostic or
-## unformatted file.
-check: vet build lint lint-absint fmt-check test-stream race-par race fuzz
+## memory-ceiling suite, the verrod job-service suite, the targeted
+## worker-pool race gate, the full race suite, and a short fuzz pass.
+## Fails on any new lint diagnostic or unformatted file.
+check: vet build lint lint-absint fmt-check test-stream test-server race-par race fuzz
 
 vet:
 	$(GO) vet ./...
@@ -54,15 +54,26 @@ test-stream:
 	$(GO) test -run 'TestStream|FuzzStreamWindow' .
 	$(GO) test ./internal/stream/ ./internal/vid/
 
+## test-server: the verrod job-service gate — store round-trip/atomicity,
+## resumable-cursor equivalence, job lifecycle, 429 admission control, SSE
+## monotonic window progress, and the kill-and-resume acceptance test
+## asserting the resumed .vvf is byte-identical to an uninterrupted run's.
+test-server:
+	$(GO) test -run 'TestSanitizeStreamFrom' ./internal/core/
+	$(GO) test ./internal/store/ ./internal/server/
+
 race:
 	$(GO) test -race ./...
 
 ## race-par: the targeted race gate — worker-pool equivalence, the scoped
-## concurrent-sanitize test, and the streaming equivalence matrix (whose
-## per-window render fan-out is the newest pool user) under the race
-## detector. A fast early failure before the full race suite.
+## concurrent-sanitize test, the streaming equivalence matrix (whose
+## per-window render fan-out is the newest pool user), and the verrod
+## handlers (concurrent jobs + SSE subscribers share the trace-observer
+## path) under the race detector. A fast early failure before the full
+## race suite.
 race-par:
 	$(GO) test -race -run 'TestParallelEquivalence|TestConcurrentSanitizeScopedWorkers|TestStreamEquivalence' .
+	$(GO) test -race -run 'TestJobLifecycle|TestAdmissionControl|TestEventsMonotonicWindowProgress' ./internal/server/
 
 ## fuzz: a short .vvf codec fuzz pass; lengthen with FUZZTIME=60s.
 FUZZTIME ?= 5s

@@ -43,7 +43,10 @@ func main() {
 		par.SetWorkers(*workers)
 	}
 	if *pprofA != "" {
-		obs.ServeDebug(*pprofA)
+		if err := obs.ServeDebug(*pprofA); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
 
 	opt := exp.Options{Scale: *scale, Trials: *trials, Seed: *seed, UseTrackedObjects: *tracked}

@@ -72,7 +72,12 @@ func main() {
 		par.SetWorkers(opt.workers)
 	}
 	if opt.pprofAddr != "" {
-		obs.ServeDebug(opt.pprofAddr)
+		// The user asked for diagnostics explicitly; an unbindable address is
+		// an error worth stopping for, not one to discover minutes later.
+		if err := obs.ServeDebug(opt.pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "verro:", err)
+			os.Exit(1)
+		}
 	}
 	if err := run(opt); err != nil {
 		fmt.Fprintln(os.Stderr, "verro:", err)
@@ -157,10 +162,23 @@ func runStream(opt options) error {
 	if err != nil {
 		return err
 	}
+	wrote := false
+	defer func() {
+		// Close is idempotent, so this is a no-op after the success path
+		// (SanitizeStream closes the sink itself). On any error return
+		// between here and there it releases the descriptor and removes the
+		// truncated output — a half-written .vvf must not survive where a
+		// caller could mistake it for a sanitized artifact.
+		sink.Close()
+		if !wrote {
+			os.Remove(opt.out)
+		}
+	}()
 	res, err := verro.SanitizeStream(src, tracks, cfg, sink)
 	if err != nil {
 		return err
 	}
+	wrote = true
 	fmt.Printf("sanitized: eps=%.3f, phase1=%v phase2=%v\n",
 		res.Epsilon, res.Phase1Time.Round(1e6), res.Phase2Time.Round(1e6))
 	fmt.Printf("%d/%d objects retained over %d windows\n",

@@ -459,11 +459,7 @@ func (pl *phase2Plan) renderRange(scenes inpaint.Scenes, lo, hi int, rt obs.Runt
 		// Depth-sort: draw farther (smaller y) objects first. perFrame[k]
 		// is owned by this frame, so the in-place sort is race-free.
 		ps := pl.perFrame[k]
-		for a := 1; a < len(ps); a++ {
-			for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
-				ps[b], ps[b-1] = ps[b-1], ps[b]
-			}
-		}
+		depthSort(ps)
 		var res renderedFrame
 		if pl.cfg.SkipRender {
 			for _, p := range ps {
@@ -495,6 +491,35 @@ func (pl *phase2Plan) renderRange(scenes inpaint.Scenes, lo, hi int, rt obs.Runt
 		}
 	}
 	return rendered, nil
+}
+
+// depthSort orders a frame's placements back-to-front (smaller y first),
+// the draw order renderRange and geometryRange both apply.
+func depthSort(ps []placed) {
+	for a := 1; a < len(ps); a++ {
+		for b := a; b > 0 && ps[b].pos.Y < ps[b-1].pos.Y; b-- {
+			ps[b], ps[b-1] = ps[b-1], ps[b]
+		}
+	}
+}
+
+// geometryRange computes the record entries of frames [lo, hi) without
+// touching pixel data: syntheticBox is kept in lockstep with
+// scene.DrawObject, so the boxes are exactly those renderRange would have
+// recorded. The resume path uses it to re-fold windows whose pixels already
+// sit in the persisted staging file into the synthetic track set, keeping a
+// resumed Result identical to an uninterrupted one.
+func (pl *phase2Plan) geometryRange(lo, hi int) []renderedFrame {
+	out := make([]renderedFrame, hi-lo)
+	for i := range out {
+		k := lo + i
+		ps := pl.perFrame[k]
+		depthSort(ps)
+		for _, p := range ps {
+			out[i].recs = append(out[i].recs, recordEntry{p.id, syntheticBox(pl.cfg.Class, p.pos, pl.h)})
+		}
+	}
+	return out
 }
 
 // phase2Assembler folds rendered frames (fed strictly in frame order) into

@@ -157,6 +157,22 @@ func windowSpend(p1 *Phase1Result, lo, hi int) WindowSpend {
 // no frames are produced and sink may be nil (a non-nil sink is left
 // untouched).
 func SanitizeStream(src stream.Source, tracks *motio.TrackSet, cfg Config, sink stream.Sink) (*Result, error) {
+	return SanitizeStreamFrom(src, tracks, cfg, sink, 0)
+}
+
+// SanitizeStreamFrom is SanitizeStream with a resumable window cursor:
+// rendering starts at startFrame (which must sit on a window boundary) and
+// only frames from there on are appended to sink — the caller owns the
+// earlier frames, typically in a checkpointed staging file a previous,
+// killed run left behind. Everything up to rendering reruns in full: the
+// analysis pass, Phase I and the Phase II plan are recomputed from the same
+// seed and consume the rng stream in exactly the batch order, so the frames
+// rendered for [startFrame, end) — and the returned ledger, synthetic
+// tracks and ε — are bit-identical to the corresponding slice of an
+// uninterrupted run. Windows before the cursor contribute their geometry
+// (not their pixels) to the synthetic track fold and their ledger entries
+// are recomputed, so the Result does not depend on where the run was cut.
+func SanitizeStreamFrom(src stream.Source, tracks *motio.TrackSet, cfg Config, sink stream.Sink, startFrame int) (*Result, error) {
 	meta := src.Meta()
 	if meta.Frames == 0 {
 		return nil, fmt.Errorf("core: empty input video")
@@ -169,6 +185,15 @@ func SanitizeStream(src stream.Source, tracks *motio.TrackSet, cfg Config, sink 
 	}
 	if !cfg.Phase2.SkipRender && sink == nil {
 		return nil, fmt.Errorf("core: nil sink for rendering run")
+	}
+	windowBudget := cfg.WindowFrames
+	if windowBudget <= 0 {
+		windowBudget = meta.Frames
+	}
+	if startFrame < 0 || startFrame > meta.Frames ||
+		(startFrame != meta.Frames && startFrame%windowBudget != 0) {
+		return nil, fmt.Errorf("core: resume cursor %d is not a window boundary (window %d, %d frames)",
+			startFrame, windowBudget, meta.Frames)
 	}
 	pool := par.NewPool(cfg.Workers)
 	cfg.Trace.AttachPool(pool)
@@ -252,16 +277,25 @@ func SanitizeStream(src stream.Source, tracks *motio.TrackSet, cfg Config, sink 
 		return nil, fmt.Errorf("core: phase 2: %w", err)
 	}
 	asm := newPhase2Assembler(plan)
-	budget := cfg.WindowFrames
-	if budget <= 0 {
-		budget = meta.Frames
-	}
+	budget := windowBudget
 	hook := windowHook(p2Span)
 	var ledger []WindowSpend
 	for lo := 0; lo < meta.Frames; lo += budget {
 		hi := lo + budget
 		if hi > meta.Frames {
 			hi = meta.Frames
+		}
+		if hi <= startFrame {
+			// Window already rendered and persisted by the run being
+			// resumed: re-fold its geometry so the synthetic tracks come out
+			// identical, recompute its ledger entry, and leave its pixels to
+			// the caller's checkpointed staging. No window span opens — SSE
+			// progress starts at the resume cursor.
+			for i, fr := range plan.geometryRange(lo, hi) {
+				asm.add(lo+i, fr)
+			}
+			ledger = append(ledger, windowSpend(p1, lo, hi))
+			continue
 		}
 		post := hook(stream.Window{Start: lo, Frames: make([]*img.Image, hi-lo), Last: hi == meta.Frames})
 		rendered, err := plan.renderRange(scenes, lo, hi, obs.Runtime{Pool: pool, Span: p2Span})
@@ -287,7 +321,7 @@ func SanitizeStream(src stream.Source, tracks *motio.TrackSet, cfg Config, sink 
 		ledger = append(ledger, windowSpend(p1, lo, hi))
 		post()
 	}
-	p2Span.Add(obs.CFramesRendered, int64(meta.Frames))
+	p2Span.Add(obs.CFramesRendered, int64(meta.Frames-startFrame))
 	p2 := asm.finish(obs.Runtime{Pool: pool, Span: p2Span})
 	p2Span.End()
 	if !cfg.Phase2.SkipRender {

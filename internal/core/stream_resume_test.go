@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"verro/internal/scene"
+	"verro/internal/stream"
+	"verro/internal/vid"
+)
+
+func resumeFixture(t *testing.T) (*scene.Generated, Config) {
+	t.Helper()
+	p := scene.Preset{
+		Name: "resume", W: 96, H: 72, Frames: 36, Objects: 4,
+		FPS: 30, Style: scene.StyleSquare, Class: scene.Pedestrian, Seed: 17,
+	}
+	g, err := scene.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Keyframe.MaxSegmentLen = 8
+	cfg.WindowFrames = 9
+	cfg.Seed = 5
+	return g, cfg
+}
+
+// TestSanitizeStreamFromEquivalence is the resume contract behind verrod's
+// checkpointing: for every window boundary K, rendering from K must produce
+// exactly the [K:] suffix of the uninterrupted run's frames, and the
+// Result's ledger, ε and synthetic tracks must not depend on the cut.
+func TestSanitizeStreamFromEquivalence(t *testing.T) {
+	g, cfg := resumeFixture(t)
+
+	full := &stream.CollectSink{}
+	fullRes, err := SanitizeStream(stream.NewSliceSource(vid.MetaOf(g.Video), g.Video.Frames), g.Truth, cfg, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, start := range []int{0, 9, 18, 27, 36} {
+		part := &stream.CollectSink{}
+		res, err := SanitizeStreamFrom(stream.NewSliceSource(vid.MetaOf(g.Video), g.Video.Frames), g.Truth, cfg, part, start)
+		if err != nil {
+			t.Fatalf("start=%d: %v", start, err)
+		}
+		if want := g.Video.Len() - start; len(part.Frames) != want {
+			t.Fatalf("start=%d: got %d frames, want %d", start, len(part.Frames), want)
+		}
+		for i, f := range part.Frames {
+			if !f.Equal(full.Frames[start+i]) {
+				t.Fatalf("start=%d: frame %d differs from the uninterrupted run", start, start+i)
+			}
+		}
+		if res.Epsilon != fullRes.Epsilon {
+			t.Fatalf("start=%d: epsilon %v != %v", start, res.Epsilon, fullRes.Epsilon)
+		}
+		if len(res.Windows) != len(fullRes.Windows) {
+			t.Fatalf("start=%d: ledger has %d windows, want %d", start, len(res.Windows), len(fullRes.Windows))
+		}
+		for i, w := range res.Windows {
+			if w != fullRes.Windows[i] {
+				t.Fatalf("start=%d: ledger window %d = %+v, want %+v", start, i, w, fullRes.Windows[i])
+			}
+		}
+		if res.SyntheticTracks.Len() != fullRes.SyntheticTracks.Len() {
+			t.Fatalf("start=%d: %d synthetic tracks, want %d",
+				start, res.SyntheticTracks.Len(), fullRes.SyntheticTracks.Len())
+		}
+		for i, tr := range res.SyntheticTracks.Tracks {
+			ftr := fullRes.SyntheticTracks.Tracks[i]
+			if tr.ID != ftr.ID || tr.Len() != ftr.Len() {
+				t.Fatalf("start=%d: synthetic track %d differs (%d/%d boxes, ids %d/%d)",
+					start, i, tr.Len(), ftr.Len(), tr.ID, ftr.ID)
+			}
+			for _, k := range tr.Frames() {
+				a, _ := tr.Box(k)
+				b, ok := ftr.Box(k)
+				if !ok || a != b {
+					t.Fatalf("start=%d: track %d box at frame %d differs", start, i, k)
+				}
+			}
+		}
+	}
+}
+
+// TestSanitizeStreamFromRejectsMisalignedCursor: the cursor must sit on a
+// window boundary — anything else means the checkpointed staging cannot
+// line up with the render windows.
+func TestSanitizeStreamFromRejectsMisalignedCursor(t *testing.T) {
+	g, cfg := resumeFixture(t)
+	for _, start := range []int{-1, 5, 10, 37} {
+		sink := &stream.CollectSink{}
+		if _, err := SanitizeStreamFrom(stream.NewSliceSource(vid.MetaOf(g.Video), g.Video.Frames), g.Truth, cfg, sink, start); err == nil {
+			t.Fatalf("start=%d: want a window-alignment error", start)
+		}
+	}
+}

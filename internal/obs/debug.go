@@ -3,23 +3,46 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
 	"os"
 	"sync"
+	"time"
 
 	"verro/internal/par"
 )
 
 var debugOnce sync.Once
 
+// NewServer returns an http.Server hardened for long-lived listeners: a
+// ReadHeaderTimeout bounds how long a client may dribble request headers
+// (the slowloris hold-open), and an IdleTimeout reclaims abandoned
+// keep-alive connections. No WriteTimeout is set deliberately — the pprof
+// profile endpoints and verrod's SSE event streams hold their responses
+// open for minutes by design, and a write deadline would sever them
+// mid-stream. Both the -pprof diagnostics endpoint and the verrod job
+// server are built on this constructor so the hardening cannot drift.
+func NewServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // ServeDebug starts the opt-in diagnostics endpoint on addr in a background
 // goroutine: net/http/pprof profiles plus expvar, including a live
 // "verro.pool" variable exposing the default worker pool's dispatch and
 // busy-time gauges. It backs the CLIs' -pprof flag and is a no-op on every
-// call after the first. A listen failure is reported to stderr rather than
-// aborting the run — diagnostics must never take the pipeline down.
-func ServeDebug(addr string) {
+// call after the first. The listener is opened synchronously so an
+// unbindable address surfaces as the returned error instead of vanishing
+// inside the serving goroutine; errors from the serving loop itself (after
+// a successful bind) are still reported to stderr rather than aborting the
+// run — established diagnostics must never take the pipeline down.
+func ServeDebug(addr string) error {
+	var err error
 	debugOnce.Do(func() {
 		expvar.Publish("verro.pool", expvar.Func(func() any {
 			s := par.DefaultStats()
@@ -35,10 +58,18 @@ func ServeDebug(addr string) {
 				"busy_total_ns": int64(s.BusyTotal()),
 			}
 		}))
+		var ln net.Listener
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			err = fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+			return
+		}
+		srv := NewServer(addr, nil) // nil handler: the default mux carries pprof+expvar
 		go func() {
-			if err := http.ListenAndServe(addr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "obs: debug server on %s: %v\n", addr, err)
+			if serr := srv.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "obs: debug server on %s: %v\n", addr, serr)
 			}
 		}()
 	})
+	return err
 }

@@ -71,13 +71,17 @@ const (
 // Span is one timed stage of a run. Spans nest; a nil *Span is the disabled
 // instrument and every method on it is a no-op.
 type Span struct {
-	name  string
-	start time.Time
+	name   string
+	parent string
+	start  time.Time
 
 	mu       sync.Mutex
 	end      time.Time
 	counters map[string]int64
 	children []*Span
+	// obs is the trace's observer, inherited from the parent at Child time;
+	// nil (the default) means no subscription and costs one nil check.
+	obs *observer
 }
 
 // Child opens a sub-stage under s, started now. Returns nil (still safe to
@@ -86,10 +90,12 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{name: name, parent: s.name, start: time.Now()}
 	s.mu.Lock()
+	c.obs = s.obs
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+	c.obs.emit(Event{Kind: EventSpanStart, Span: name, Parent: s.name})
 	return c
 }
 
@@ -99,10 +105,16 @@ func (s *Span) End() {
 		return
 	}
 	s.mu.Lock()
-	if s.end.IsZero() {
+	first := s.end.IsZero()
+	if first {
 		s.end = time.Now()
 	}
+	dur := s.end.Sub(s.start)
+	o := s.obs
 	s.mu.Unlock()
+	if first {
+		o.emit(Event{Kind: EventSpanEnd, Span: s.name, Parent: s.parent, DurationNS: dur.Nanoseconds()})
+	}
 }
 
 // Add increments the named monotonic counter by n. Safe from concurrent
@@ -116,7 +128,10 @@ func (s *Span) Add(name string, n int64) {
 		s.counters = map[string]int64{}
 	}
 	s.counters[name] += n
+	total := s.counters[name]
+	o := s.obs
 	s.mu.Unlock()
+	o.emit(Event{Kind: EventCounter, Span: s.name, Parent: s.parent, Counter: name, Delta: n, Total: total})
 }
 
 // Counter reads a counter (0 when absent or s is nil).

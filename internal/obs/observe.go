@@ -1,0 +1,80 @@
+package obs
+
+import "sync/atomic"
+
+// Event subscription: a Trace can stream its span openings/closings and
+// counter increments to a single observer as they happen, which is what
+// feeds verrod's per-job SSE progress streams. Subscription is orthogonal
+// to the Report snapshot — the span tree keeps accumulating exactly as
+// before, and a trace with no observer pays one nil check per event site.
+//
+// Observer callbacks run synchronously on whatever goroutine produced the
+// event (counter increments may come from pool workers), outside the span
+// lock. Observers must therefore be fast and must not call back into the
+// span they were notified about; buffering and fan-out belong to the
+// subscriber (internal/server keeps a per-job event log behind its own
+// lock).
+
+// Event kinds delivered to a trace observer.
+const (
+	// EventSpanStart reports a span opening (Span, Parent).
+	EventSpanStart = "span_start"
+	// EventSpanEnd reports a span closing (Span, Parent, DurationNS).
+	EventSpanEnd = "span_end"
+	// EventCounter reports a counter increment (Span, Counter, Delta, Total).
+	EventCounter = "counter"
+)
+
+// Event is one observability occurrence in a subscribed trace. Seq is a
+// per-trace monotonically increasing sequence number: an SSE consumer that
+// orders events by Seq sees spans and counters in a consistent causal order
+// even when workers race on counter increments.
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Kind string `json:"kind"`
+	// Span names the span the event belongs to; Parent its parent span
+	// (empty for the root).
+	Span   string `json:"span"`
+	Parent string `json:"parent,omitempty"`
+	// Counter/Delta/Total describe an EventCounter increment.
+	Counter string `json:"counter,omitempty"`
+	Delta   int64  `json:"delta,omitempty"`
+	Total   int64  `json:"total,omitempty"`
+	// DurationNS is the closed span's wall time on EventSpanEnd.
+	DurationNS int64 `json:"duration_ns,omitempty"`
+}
+
+// observer carries the subscription down the span tree: every child span
+// created after Observe shares the trace's observer and sequence counter.
+type observer struct {
+	fn  func(Event)
+	seq atomic.Int64
+}
+
+// emit stamps the next sequence number and delivers the event. Call sites
+// hold no span lock here, so a slow observer can delay the pipeline but
+// never deadlock it.
+func (o *observer) emit(e Event) {
+	if o == nil {
+		return
+	}
+	e.Seq = o.seq.Add(1)
+	o.fn(e)
+}
+
+// Observe subscribes fn to the trace's events. It must be called before the
+// pipeline opens stage spans: only spans created after the call (and counter
+// increments on them) are delivered; the root span itself is announced
+// immediately as an EventSpanStart. A nil trace or nil fn is a no-op, and at
+// most one observer is supported — a second call replaces the first for
+// spans not yet created but not for existing ones.
+func (t *Trace) Observe(fn func(Event)) {
+	if t == nil || fn == nil {
+		return
+	}
+	o := &observer{fn: fn}
+	t.root.mu.Lock()
+	t.root.obs = o
+	t.root.mu.Unlock()
+	o.emit(Event{Kind: EventSpanStart, Span: t.root.name})
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestObserveEvents checks the full event contract: the root announcement,
+// span start/end ordering, counter deltas and totals, parent attribution,
+// and strictly increasing sequence numbers.
+func TestObserveEvents(t *testing.T) {
+	tr := NewTrace("job")
+	var mu sync.Mutex
+	var events []Event
+	tr.Observe(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+
+	s := tr.Root().Child("phase2")
+	w := s.Child("window@0")
+	s.Add(CWindows, 1)
+	s.Add(CWindows, 1)
+	w.End()
+	w.End() // double End must emit exactly one span_end
+	s.End()
+	tr.Finish()
+
+	want := []Event{
+		{Kind: EventSpanStart, Span: "job"},
+		{Kind: EventSpanStart, Span: "phase2", Parent: "job"},
+		{Kind: EventSpanStart, Span: "window@0", Parent: "phase2"},
+		{Kind: EventCounter, Span: "phase2", Parent: "job", Counter: CWindows, Delta: 1, Total: 1},
+		{Kind: EventCounter, Span: "phase2", Parent: "job", Counter: CWindows, Delta: 1, Total: 2},
+		{Kind: EventSpanEnd, Span: "window@0", Parent: "phase2"},
+		{Kind: EventSpanEnd, Span: "phase2", Parent: "job"},
+		{Kind: EventSpanEnd, Span: "job"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, e := range events {
+		if int64(i+1) != e.Seq {
+			t.Errorf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+		w := want[i]
+		if e.Kind != w.Kind || e.Span != w.Span || e.Parent != w.Parent ||
+			e.Counter != w.Counter || e.Delta != w.Delta || e.Total != w.Total {
+			t.Errorf("event %d = %+v, want %+v", i, e, w)
+		}
+		if e.Kind == EventSpanEnd && e.DurationNS < 0 {
+			t.Errorf("event %d has negative duration", i)
+		}
+	}
+}
+
+// TestObserveNilSafety: nil traces, nil callbacks and unobserved traces must
+// all be inert.
+func TestObserveNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Observe(func(Event) { t.Fatal("nil trace must not deliver events") })
+
+	tr2 := NewTrace("x")
+	tr2.Observe(nil)
+	s := tr2.Root().Child("stage")
+	s.Add("n", 1)
+	s.End() // must not panic with a nil observer
+}
+
+// TestObserveConcurrentCounters: concurrent Adds from workers must deliver
+// one event per increment with unique sequence numbers.
+func TestObserveConcurrentCounters(t *testing.T) {
+	tr := NewTrace("job")
+	seen := make(map[int64]bool)
+	var mu sync.Mutex
+	count := 0
+	tr.Observe(func(e Event) {
+		mu.Lock()
+		if seen[e.Seq] {
+			t.Errorf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+		if e.Kind == EventCounter {
+			count++
+		}
+		mu.Unlock()
+	})
+	s := tr.Root().Child("stage")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != 8*200 {
+		t.Fatalf("delivered %d counter events, want %d", count, 8*200)
+	}
+	if got := s.Counter("n"); got != 8*200 {
+		t.Fatalf("counter = %d, want %d", got, 8*200)
+	}
+}
+
+// TestNewServerHardening: the shared constructor must bound header reads
+// (slowloris) while leaving writes unbounded for SSE/pprof streams.
+func TestNewServerHardening(t *testing.T) {
+	srv := NewServer("127.0.0.1:0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("ReadHeaderTimeout must be set")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Fatal("IdleTimeout must be set")
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatal("WriteTimeout must stay unset: SSE streams hold responses open")
+	}
+}
+
+// TestServeDebugBadAddr: an unbindable address must surface synchronously.
+// ServeDebug is once-per-process, so this test also pins the "first call
+// wins" contract: the follow-up call is a no-op returning nil.
+func TestServeDebugBadAddr(t *testing.T) {
+	if err := ServeDebug("203.0.113.1:1"); err == nil { // TEST-NET-3, never bindable
+		t.Fatal("want a listen error for an unbindable address")
+	}
+	if err := ServeDebug("127.0.0.1:0"); err != nil {
+		t.Fatalf("second call must be a no-op, got %v", err)
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"sync"
+
+	"verro/internal/obs"
+)
+
+// eventLog is the per-job buffer between a trace's observer callback and any
+// number of SSE subscribers. The observer appends synchronously from
+// pipeline goroutines; subscribers replay the history from any cursor and
+// then block on the condition variable for more. The log is kept for the
+// life of the process even after the job finishes, so a client connecting
+// after completion still receives the full progress history followed by the
+// terminal event.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []obs.Event
+	done   bool
+	state  string // terminal job state once done
+	errMsg string
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// append is the obs.Trace observer callback.
+func (l *eventLog) append(e obs.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the job finished; subscribers drain and receive the terminal
+// event. Idempotent.
+func (l *eventLog) close(state, errMsg string) {
+	l.mu.Lock()
+	if !l.done {
+		l.done = true
+		l.state = state
+		l.errMsg = errMsg
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// wake kicks every waiting subscriber so they can notice their client went
+// away (the condition variable cannot watch a context itself).
+func (l *eventLog) wake() { l.cond.Broadcast() }
+
+// next blocks until events beyond index cursor exist (returning them and the
+// new cursor) or the log is done and drained (returning done=true), or
+// cancelled reports true. cancelled is polled only at wake-ups, so callers
+// pair next with a goroutine that calls wake when their context ends.
+func (l *eventLog) next(cursor int, cancelled func() bool) (evs []obs.Event, newCursor int, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if cancelled() {
+			return nil, cursor, true
+		}
+		if cursor < len(l.events) {
+			evs = append(evs, l.events[cursor:]...)
+			return evs, len(l.events), false
+		}
+		if l.done {
+			return nil, cursor, true
+		}
+		l.cond.Wait()
+	}
+}
+
+// terminal reports the job's final state once done.
+func (l *eventLog) terminal() (state, errMsg string, done bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.state, l.errMsg, l.done
+}
+
+// cursorAfterSeq translates an SSE Last-Event-ID (an event Seq) into a
+// replay cursor: the index just past the last buffered event carrying that
+// Seq, so a reconnecting client resumes exactly where it left off.
+func (l *eventLog) cursorAfterSeq(seq int64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.events) - 1; i >= 0; i-- {
+		if l.events[i].Seq == seq {
+			return i + 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,162 @@
+package vid
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileSinkIdempotentClose: a failed frame-count-mismatch close must
+// return the same error on every subsequent call (never an fd double-close
+// error), and a successful close must keep returning nil.
+func TestFileSinkIdempotentClose(t *testing.T) {
+	v := streamTestVideo(5)
+	dir := t.TempDir()
+
+	short, err := CreateFileSink(filepath.Join(dir, "short.vvf"), MetaOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := short.Append(v.Frames[:2]); err != nil {
+		t.Fatal(err)
+	}
+	first := short.Close()
+	if first == nil {
+		t.Fatal("closing after 2/5 frames must fail")
+	}
+	if again := short.Close(); again != first {
+		t.Fatalf("second close = %v, want the first result %v", again, first)
+	}
+
+	ok, err := CreateFileSink(filepath.Join(dir, "ok.vvf"), MetaOf(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Append(v.Frames); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Close(); err != nil {
+		t.Fatalf("second close after success = %v, want nil", err)
+	}
+}
+
+// TestRawStoreAppendReopenEncode is the staging-file contract: frames
+// appended across a reopen (with a torn tail truncated away) must encode to
+// a .vvf byte-identical to the batch encoder's output for the same clip.
+func TestRawStoreAppendReopenEncode(t *testing.T) {
+	v := streamTestVideo(9)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frames.raw")
+
+	s, err := CreateRawStore(path, v.W, v.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(v.Frames[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Frames beyond the "checkpoint" at 4, as a crash-after-checkpoint
+	// leaves behind — including a torn partial frame at the very end.
+	if err := s.Append(v.Frames[4:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(v.Frames[6].Pix[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume from the checkpoint: everything after frame 4 is dropped.
+	s2, err := OpenRawStore(path, v.W, v.H, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Frames() != 4 {
+		t.Fatalf("reopened store holds %d frames, want 4", s2.Frames())
+	}
+	if err := s2.Append(v.Frames[4:]); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	n, err := s2.EncodeTo(&got, MetaOf(v), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(got.Len()) {
+		t.Fatalf("EncodeTo reports %d bytes, wrote %d", n, got.Len())
+	}
+	var want bytes.Buffer
+	if _, err := Encode(&want, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("resumed staging encode differs from batch Encode")
+	}
+
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatalf("second close = %v, want nil", err)
+	}
+}
+
+// TestRawStoreRejectsInconsistency: a checkpoint claiming more frames than
+// the staging file holds, mismatched geometry, and encode-meta drift must
+// all fail loudly instead of producing silent garbage.
+func TestRawStoreRejectsInconsistency(t *testing.T) {
+	v := streamTestVideo(3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "frames.raw")
+	s, err := CreateRawStore(path, v.W, v.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(v.Frames[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenRawStore(path, v.W, v.H, 3); err == nil {
+		t.Fatal("checkpoint beyond the staged frames must be rejected")
+	}
+	if _, err := OpenRawStore(path, v.W, v.H, -1); err == nil {
+		t.Fatal("negative checkpoint must be rejected")
+	}
+
+	s2, err := OpenRawStore(path, v.W, v.H, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	wrong := streamTestVideo(1)
+	wrong.Frames[0] = wrong.Frames[0].Clone()
+	wrong.Frames[0].W++ // geometry mismatch
+	wrong.Frames[0].Pix = append(wrong.Frames[0].Pix, 0)
+	if err := s2.Append(wrong.Frames); err == nil {
+		t.Fatal("geometry-mismatched append must be rejected")
+	}
+	meta := MetaOf(v)
+	meta.Frames = 5
+	if _, err := s2.EncodeTo(&bytes.Buffer{}, meta, 0); err == nil {
+		t.Fatal("encode meta promising the wrong frame count must be rejected")
+	}
+}

@@ -46,6 +46,7 @@ type Writer struct {
 	written   int
 	headerErr error
 	closed    bool
+	closeErr  error
 }
 
 // NewWriter writes the .vvf header for meta to w and returns a Writer
@@ -122,20 +123,25 @@ func (w *Writer) Append(frames []*img.Image) error {
 }
 
 // Close finalizes the stream. It fails when fewer frames were appended
-// than the header promised.
+// than the header promised. Close is idempotent: a second call returns the
+// first call's result instead of re-finalizing, so defer-based cleanup
+// composes with an explicit success-path close.
 func (w *Writer) Close() error {
 	if w.closed {
-		return nil
+		return w.closeErr
 	}
 	w.closed = true
 	if w.written != w.meta.Frames {
-		return fmt.Errorf("vid: closed after %d frames, header promises %d",
+		w.closeErr = fmt.Errorf("vid: closed after %d frames, header promises %d",
 			w.written, w.meta.Frames)
+		return w.closeErr
 	}
 	if err := w.zw.Close(); err != nil {
+		w.closeErr = err
 		return err
 	}
-	return w.bw.Flush()
+	w.closeErr = w.bw.Flush()
+	return w.closeErr
 }
 
 // Written reports the bytes emitted so far (the Table 3 "bandwidth" figure
@@ -295,8 +301,10 @@ func (s *FileSource) Close() error { return s.f.Close() }
 // FileSink is a stream.Sink that encodes output windows straight to a .vvf
 // file as they arrive.
 type FileSink struct {
-	f *os.File
-	w *Writer
+	f        *os.File
+	w        *Writer
+	closed   bool
+	closeErr error
 }
 
 // CreateFileSink creates path (and parent directories) and writes the
@@ -323,13 +331,22 @@ func CreateFileSink(path string, meta stream.Meta) (*FileSink, error) {
 func (s *FileSink) Append(frames []*img.Image) error { return s.w.Append(frames) }
 
 // Close implements stream.Sink: it finalizes the compressed stream and the
-// file. The frame-count check of Writer.Close applies.
+// file. The frame-count check of Writer.Close applies. Close is idempotent —
+// a second call returns the first call's result rather than a double-close
+// fd error — so a caller's `defer sink.Close()` cleanup composes with the
+// success-path close inside core.SanitizeStream.
 func (s *FileSink) Close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
 	if err := s.w.Close(); err != nil {
 		s.f.Close()
+		s.closeErr = err
 		return err
 	}
-	return s.f.Close()
+	s.closeErr = s.f.Close()
+	return s.closeErr
 }
 
 // Written reports the bytes written so far (complete after Close).

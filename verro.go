@@ -154,6 +154,16 @@ func SanitizeStream(src StreamSource, tracks *TrackSet, cfg Config, sink StreamS
 	return core.SanitizeStream(src, tracks, cfg, sink)
 }
 
+// SanitizeStreamFrom is SanitizeStream with a resumable window cursor:
+// rendering resumes at startFrame (a window boundary) and only frames from
+// there on reach sink; the caller owns the earlier frames, typically in a
+// checkpointed staging file a killed run left behind. The rendered suffix,
+// ledger, tracks and ε are bit-identical to the corresponding parts of an
+// uninterrupted run — the property verrod's checkpoint/resume is built on.
+func SanitizeStreamFrom(src StreamSource, tracks *TrackSet, cfg Config, sink StreamSink, startFrame int) (*Result, error) {
+	return core.SanitizeStreamFrom(src, tracks, cfg, sink, startFrame)
+}
+
 // MultiTypeResult is the output of SanitizeMultiType.
 type MultiTypeResult = core.MultiTypeResult
 

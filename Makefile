@@ -3,14 +3,21 @@
 
 GO ?= go
 
-.PHONY: check vet build lint lint-flow lint-absint fmt-check test test-stream test-server race race-par fuzz bench bench-json clean
+## LINTCACHE: where verrolint's incremental fact cache lives. CI persists
+## this directory across runs (keyed on toolchain + analyzer sources), so a
+## PR that doesn't touch a package's dependency cone replays its facts
+## instead of re-type-checking it.
+LINTCACHE ?= .lint-cache
+
+.PHONY: check vet build lint lint-flow lint-absint bench-lint fmt-check test test-stream test-server race race-par fuzz fuzz-short bench bench-json clean
 
 ## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
 ## the interval analyzers (-absint), gofmt, the streaming equivalence and
 ## memory-ceiling suite, the verrod job-service suite, the targeted
-## worker-pool race gate, the full race suite, and a short fuzz pass.
+## worker-pool race gate, the full race suite, and a short fuzz pass over
+## both the .vvf codec and the stream-window planner.
 ## Fails on any new lint diagnostic or unformatted file.
-check: vet build lint lint-absint fmt-check test-stream test-server race-par race fuzz
+check: vet build lint lint-absint fmt-check test-stream test-server race-par race fuzz-short
 
 vet:
 	$(GO) vet ./...
@@ -23,19 +30,27 @@ build:
 ## verroflow taint analyzers (§2e). Findings recorded in lint-baseline.json
 ## are absorbed; only new diagnostics fail.
 lint:
-	$(GO) run ./cmd/verrolint -baseline lint-baseline.json ./...
+	$(GO) run ./cmd/verrolint -cache $(LINTCACHE) -baseline lint-baseline.json ./...
 
 ## lint-flow: only the taint-tracking dataflow analyzers (privleak,
-## epsconsist, capturerace), without the classic suite or the baseline.
+## epsconsist, epshttp, capturerace), without the classic suite or the
+## baseline.
 lint-flow:
-	$(GO) run ./cmd/verrolint -classic=false ./...
+	$(GO) run ./cmd/verrolint -classic=false -cache $(LINTCACHE) ./...
 
 ## lint-absint: only the interval abstract-interpretation analyzers
 ## (probrange, divzero, idxbound — DESIGN.md §2f), sharing the same
 ## baseline file; analyzer names are unique across all three suites, so
 ## the multiset diff cannot collide across passes.
 lint-absint:
-	$(GO) run ./cmd/verrolint -classic=false -flow=false -absint -baseline lint-baseline.json ./...
+	$(GO) run ./cmd/verrolint -classic=false -flow=false -absint -cache $(LINTCACHE) -baseline lint-baseline.json ./...
+
+## bench-lint: regenerate BENCH_lint.json — wall time of a cold incremental
+## run (cache populated from scratch) vs. a warm replay of the whole repo
+## with every suite enabled.
+bench-lint:
+	rm -rf $(LINTCACHE)
+	$(GO) run ./cmd/verrolint -absint -cache $(LINTCACHE) -bench BENCH_lint.json ./...
 
 ## fmt-check: fail if any tracked Go file is not gofmt-clean.
 fmt-check:
@@ -74,11 +89,18 @@ race:
 race-par:
 	$(GO) test -race -run 'TestParallelEquivalence|TestConcurrentSanitizeScopedWorkers|TestStreamEquivalence' .
 	$(GO) test -race -run 'TestJobLifecycle|TestAdmissionControl|TestEventsMonotonicWindowProgress' ./internal/server/
+	$(GO) test -race ./internal/store/ ./internal/stream/ ./internal/lint/incr/
 
 ## fuzz: a short .vvf codec fuzz pass; lengthen with FUZZTIME=60s.
 FUZZTIME ?= 5s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzVVF -fuzztime=$(FUZZTIME) ./internal/vid/
+
+## fuzz-short: the CI fuzz gate — 10s each on the .vvf codec decoder and
+## the stream-window planner, the two parser-shaped surfaces.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzVVF -fuzztime=10s ./internal/vid/
+	$(GO) test -run='^$$' -fuzz=FuzzStreamWindow -fuzztime=10s .
 
 ## bench: every benchmark once (paper tables/figures + worker-pool paths).
 bench:

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunCacheMatchesPlain runs the seeded-leak fixture through the
+// incremental driver twice — cold, then warm from the fact cache — and
+// checks both passes emit exactly the plain driver's diagnostic stream
+// with the same exit code.
+func TestRunCacheMatchesPlain(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"./testdata/leakdemo"}, &plain, &plainErr); code != 1 {
+		t.Fatalf("plain exit = %d, want 1\nstderr: %s", code, plainErr.String())
+	}
+	cacheDir := t.TempDir()
+	for _, pass := range []string{"cold", "warm"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-cache", cacheDir, "./testdata/leakdemo"}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("%s cache run exit = %d, want 1\nstderr: %s", pass, code, stderr.String())
+		}
+		if stdout.String() != plain.String() {
+			t.Errorf("%s cache run diverges from plain driver:\n%s\nplain:\n%s",
+				pass, stdout.String(), plain.String())
+		}
+	}
+}
+
+// TestRunBenchWritesReport drives -bench end to end: the timing report
+// lands on disk with a fully warm second pass, and the diagnostics still
+// fail the run.
+func TestRunBenchWritesReport(t *testing.T) {
+	benchFile := filepath.Join(t.TempDir(), "BENCH_lint.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-cache", t.TempDir(), "-bench", benchFile, "./testdata/leakdemo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(benchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		ColdSeconds float64 `json:"cold_seconds"`
+		WarmSeconds float64 `json:"warm_seconds"`
+		Packages    int     `json:"packages"`
+		WarmHits    int     `json:"warm_cache_hits"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("bench report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Packages != 1 || rep.WarmHits != 1 {
+		t.Errorf("warm pass should hit the cache for the single package: %+v", rep)
+	}
+	if rep.ColdSeconds <= 0 {
+		t.Errorf("cold timing missing: %+v", rep)
+	}
+	if !strings.Contains(stderr.String(), "cache hits") {
+		t.Errorf("stderr missing the timing summary: %s", stderr.String())
+	}
+}
+
+func TestRunBenchRequiresCache(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-bench", "out.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-bench requires -cache") {
+		t.Errorf("stderr missing usage error: %s", stderr.String())
+	}
+}

@@ -91,7 +91,7 @@ func TestRunListIncludesFlowAnalyzers(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"privleak", "epsconsist", "capturerace"} {
+	for _, name := range []string{"privleak", "epsconsist", "epshttp", "capturerace"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}

@@ -10,16 +10,25 @@
 //
 // Usage:
 //
-//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-baseline file] [pattern ...]
+//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-baseline file] [-cache dir [-bench file]] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
 // ("./..." is the default). The flow analyzers see every matched package as
 // one program, so cross-package flows are visible whenever both ends are in
 // the pattern set. With -baseline, diagnostics recorded in the given -json
 // snapshot are tolerated and only new ones fail the run — the ratchet for
-// adopting a new analyzer on a codebase with known findings. Exit status is
-// 0 when clean, 1 when any (new) diagnostic fired, 2 on load or usage
-// errors.
+// adopting a new analyzer on a codebase with known findings.
+//
+// With -cache, the incremental driver (internal/lint/incr) analyzes
+// packages in parallel and persists per-package facts — diagnostics plus
+// flow/interval summaries — keyed by content hashes chained through the
+// import graph, so unchanged packages replay without re-type-checking.
+// The diagnostic stream is identical to the plain driver's. -bench (which
+// requires -cache) times a cold run then a warm run and writes the JSON
+// timing report to the given file.
+//
+// Exit status is 0 when clean, 1 when any (new) diagnostic fired, 2 on
+// load or usage errors.
 package main
 
 import (
@@ -32,10 +41,12 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"verro/internal/lint"
 	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
+	"verro/internal/lint/incr"
 )
 
 func main() {
@@ -62,7 +73,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flowOn := fl.Bool("flow", true, "run the dataflow analyzers (privleak, epsconsist, capturerace)")
 	absintOn := fl.Bool("absint", false, "run the interval analyzers (probrange, divzero, idxbound)")
 	baseline := fl.String("baseline", "", "JSON baseline file (a prior -json run); only diagnostics not in it fail")
+	cache := fl.String("cache", "", "fact-cache directory: analyze incrementally and in parallel, persisting per-package facts")
+	bench := fl.String("bench", "", "with -cache: time a cold then a warm run and write the JSON timing report to this file")
 	if err := fl.Parse(args); err != nil {
+		return 2
+	}
+	if *bench != "" && *cache == "" {
+		fmt.Fprintln(stderr, "verrolint: -bench requires -cache")
 		return 2
 	}
 
@@ -100,31 +117,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	loader := lint.NewLoader()
-	loader.IncludeTests = *tests
-	var pkgs []*lint.Package
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
+	var diags []lint.Diagnostic
+	if *cache != "" {
+		opts := incr.Options{Dirs: dirs, CacheDir: *cache, ReadCache: true, IncludeTests: *tests}
+		if *classic {
+			opts.Classic = analyzers
+		}
+		if *flowOn {
+			opts.Flow = flowAnalyzers
+		}
+		if *absintOn {
+			opts.Absint = absintAnalyzers
+		}
+		var err error
+		if *bench != "" {
+			diags, err = runBench(opts, *bench, stderr)
+		} else {
+			diags, _, err = incr.Run(opts)
+		}
 		if err != nil {
 			fmt.Fprintf(stderr, "verrolint: %v\n", err)
 			return 2
 		}
-		pkgs = append(pkgs, pkg)
-	}
-
-	var diags []lint.Diagnostic
-	if *classic {
-		for _, pkg := range pkgs {
-			diags = append(diags, lint.Run(pkg, analyzers...)...)
+	} else {
+		loader := lint.NewLoader()
+		loader.IncludeTests = *tests
+		var pkgs []*lint.Package
+		for _, dir := range dirs {
+			pkg, err := loader.Load(dir)
+			if err != nil {
+				fmt.Fprintf(stderr, "verrolint: %v\n", err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
 		}
+		if *classic {
+			for _, pkg := range pkgs {
+				diags = append(diags, lint.Run(pkg, analyzers...)...)
+			}
+		}
+		if *flowOn {
+			diags = append(diags, flow.Run(pkgs, flowAnalyzers...)...)
+		}
+		if *absintOn {
+			diags = append(diags, absint.Run(pkgs, absintAnalyzers...)...)
+		}
+		lint.Sort(diags)
 	}
-	if *flowOn {
-		diags = append(diags, flow.Run(pkgs, flowAnalyzers...)...)
-	}
-	if *absintOn {
-		diags = append(diags, absint.Run(pkgs, absintAnalyzers...)...)
-	}
-	lint.Sort(diags)
 
 	baselined := 0
 	if *baseline != "" {
@@ -169,6 +208,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "verrolint: clean%s\n", baselineNote(baselined))
 	}
 	return 0
+}
+
+// benchReport is the schema of the -bench timing file (BENCH_lint.json in
+// CI): wall time of a cold incremental run against a warm replay of the
+// same package set.
+type benchReport struct {
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Packages    int     `json:"packages"`
+	WarmHits    int     `json:"warm_cache_hits"`
+}
+
+// runBench populates the cache cold (ignoring existing entries), replays it
+// warm, writes the timing report, and returns the warm run's diagnostics —
+// which double as a live equivalence check, since the warm stream must
+// match what the cold run just computed.
+func runBench(opts incr.Options, path string, stderr io.Writer) ([]lint.Diagnostic, error) {
+	cold := opts
+	cold.ReadCache = false
+	start := time.Now() //lint:allow walltime benchmarking wall time is the point here
+	if _, _, err := incr.Run(cold); err != nil {
+		return nil, err
+	}
+	coldDur := time.Since(start) //lint:allow walltime benchmarking wall time is the point here
+
+	start = time.Now() //lint:allow walltime benchmarking wall time is the point here
+	diags, stats, err := incr.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	warmDur := time.Since(start) //lint:allow walltime benchmarking wall time is the point here
+
+	rep := benchReport{
+		ColdSeconds: coldDur.Seconds(),
+		WarmSeconds: warmDur.Seconds(),
+		Packages:    stats.Packages,
+		WarmHits:    stats.CacheHits,
+	}
+	if warmDur > 0 {
+		rep.Speedup = coldDur.Seconds() / warmDur.Seconds()
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "verrolint: cold %.2fs, warm %.2fs (%.1fx, %d/%d cache hits) -> %s\n",
+		rep.ColdSeconds, rep.WarmSeconds, rep.Speedup, stats.CacheHits, stats.Packages, path)
+	return diags, nil
 }
 
 // analyzerCounts renders the per-analyzer breakdown of the summary line,

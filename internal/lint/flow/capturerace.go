@@ -46,7 +46,7 @@ var workerCallees = set(
 func NewCaptureRace() *Analyzer {
 	return &Analyzer{
 		Name: "capturerace",
-		Doc:  "worker-pool closures must not write captured variables or non-derived shared indices",
+		Doc:  "worker-pool and goroutine closures must not write captured state unsynchronized",
 		run:  captureRaceRun,
 	}
 }
@@ -55,22 +55,126 @@ func captureRaceRun(prog *Program, rep *reporter) {
 	for _, name := range prog.funcNames() {
 		fd := prog.funcs[name]
 		ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || len(call.Args) == 0 {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if len(n.Args) == 0 {
+					return true
+				}
+				fn := staticCalleeInfo(fd.pkg.Info, n)
+				if fn == nil || !workerCallees[normName(fn)] {
+					return true
+				}
+				lit, ok := unparen(n.Args[len(n.Args)-1]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				checkWorkerBody(fd.pkg, lit, rep)
+			case *ast.GoStmt:
+				// A plain `go func(){...}()` runs concurrently with its
+				// spawner (verrod's per-job goroutines, SSE wakers): captured
+				// writes race with the spawning function unless a shared lock
+				// is held.
+				if lit, ok := unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					checkGoBody(fd.pkg, lit, rep)
+				}
 			}
-			fn := staticCalleeInfo(fd.pkg.Info, call)
-			if fn == nil || !workerCallees[normName(fn)] {
-				return true
-			}
-			lit, ok := unparen(call.Args[len(call.Args)-1]).(*ast.FuncLit)
-			if !ok {
-				return true
-			}
-			checkWorkerBody(fd.pkg, lit, rep)
 			return true
 		})
 	}
+}
+
+// checkGoBody classifies writes inside a goroutine closure launched with
+// `go func(){...}()`. Unlike pool worker bodies there is no disjoint-shard
+// exemption — nothing coordinates a bare goroutine's indices with anyone
+// else's — but a write lexically preceded in the closure body by a
+// .Lock()/.RLock() call on shared state is accepted as mutex-guarded (the
+// eventLog pattern: methods lock, goroutines call methods).
+func checkGoBody(pkg *lint.Package, lit *ast.FuncLit, rep *reporter) {
+	s := &litScope{
+		pkg:     pkg,
+		info:    pkg.Info,
+		rep:     rep,
+		locals:  map[types.Object]bool{},
+		derived: map[types.Object]bool{},
+	}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.info.Defs[id]; obj != nil {
+				s.locals[obj] = true
+			}
+		}
+		return true
+	})
+
+	// Positions of lock acquisitions on shared state inside the closure.
+	var locks []token.Pos
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if s.sharedBase(sel.X) {
+			locks = append(locks, call.Pos())
+		}
+		return true
+	})
+	guarded := func(pos token.Pos) bool {
+		for _, l := range locks {
+			if l < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			lhs = unparen(lhs)
+			if guarded(lhs.Pos()) {
+				continue
+			}
+			switch x := lhs.(type) {
+			case *ast.Ident:
+				if x.Name == "_" {
+					continue
+				}
+				if obj := s.objOf(x); obj != nil && !s.locals[obj] {
+					s.reportGo(x.Pos(), "captured variable %q", x.Name)
+				}
+			case *ast.IndexExpr:
+				if s.sharedBase(x.X) {
+					s.reportGo(x.Pos(), "captured container %s", render(x.X))
+				}
+			case *ast.SelectorExpr:
+				if s.sharedBase(x.X) {
+					s.reportGo(x.Pos(), "field %s of a captured value", render(x))
+				}
+			case *ast.StarExpr:
+				if s.sharedBase(x.X) {
+					s.reportGo(x.Pos(), "captured pointer target %s", render(x))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (s *litScope) reportGo(pos token.Pos, format string, args ...any) {
+	s.rep.reportf(s.pkg, pos,
+		"goroutine closure writes "+format+" without holding a lock; it races with the spawner", args...)
 }
 
 // staticCalleeInfo resolves a call's static target through an Info (the

@@ -176,6 +176,19 @@ type engine struct {
 	prog *Program
 	cfg  *TaintConfig
 	sums map[string]*summary
+	// base holds converged summaries of functions outside prog — the
+	// dependency facts a per-package incremental run (AnalyzePackage) feeds
+	// in. Read-only; own-package summaries in sums always win.
+	base map[string]*summary
+}
+
+// lookup resolves a callee summary: the program's own evolving table first,
+// then the read-only dependency base.
+func (e *engine) lookup(name string) *summary {
+	if sum := e.sums[name]; sum != nil {
+		return sum
+	}
+	return e.base[name]
 }
 
 // run iterates per-function summaries to a fixpoint (starting optimistic:
@@ -619,6 +632,13 @@ func (w *fnWalker) rootObj(e ast.Expr) types.Object {
 			e = x.X
 		case *ast.SliceExpr:
 			e = x.X
+		case *ast.UnaryExpr:
+			// &x roots at x: an unknown callee handed &m can absorb taint
+			// into m (json.Decoder.Decode(&m) is verrod's ingress shape).
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
 		default:
 			return nil
 		}
@@ -962,7 +982,7 @@ func (w *fnWalker) callRaw(call *ast.CallExpr, want int) []Bits {
 		return out
 	}
 
-	if sum := w.eng.sums[name]; sum != nil {
+	if sum := w.eng.lookup(name); sum != nil {
 		w.applySummary(call, fn, sum, operands, opBits, out)
 		return out
 	}

@@ -11,13 +11,7 @@ import (
 // policies) can exercise the engine with small synthetic source/sink
 // tables.
 func NewAnalyzer(name, doc string, cfg *TaintConfig) *Analyzer {
-	return &Analyzer{
-		Name: name,
-		Doc:  doc,
-		run: func(prog *Program, rep *reporter) {
-			(&engine{prog: prog, cfg: cfg, sums: map[string]*summary{}}).run(rep)
-		},
-	}
+	return &Analyzer{Name: name, Doc: doc, cfg: cfg}
 }
 
 // CheckFixture loads the fixture directories as one program, runs the flow

@@ -38,7 +38,21 @@ type Analyzer struct {
 	// Doc is the one-line invariant the analyzer encodes.
 	Doc string
 
+	// cfg is the taint policy for engine-backed analyzers. Syntactic
+	// analyzers (capturerace) leave it nil and supply run instead.
+	cfg *TaintConfig
 	run func(prog *Program, rep *reporter)
+}
+
+// exec runs the analyzer over a program, routing engine-backed policies
+// through a fresh engine seeded with base dependency summaries (nil for a
+// whole-program run, where every callee is in prog).
+func (a *Analyzer) exec(prog *Program, rep *reporter, base map[string]*summary) {
+	if a.cfg != nil {
+		(&engine{prog: prog, cfg: a.cfg, sums: map[string]*summary{}, base: base}).run(rep)
+		return
+	}
+	a.run(prog, rep)
 }
 
 // Program is the set of packages under analysis plus the function index
@@ -119,7 +133,7 @@ func Run(pkgs []*lint.Package, analyzers ...*Analyzer) []lint.Diagnostic {
 	var diags []lint.Diagnostic
 	for _, a := range analyzers {
 		rep := &reporter{analyzer: a.Name, allow: allow, seen: map[string]bool{}}
-		a.run(prog, rep)
+		a.exec(prog, rep, nil)
 		diags = append(diags, rep.diags...)
 	}
 	lint.Sort(diags)

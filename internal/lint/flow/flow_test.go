@@ -18,6 +18,18 @@ func TestEpsConsistFixture(t *testing.T) {
 	flow.RunFixture(t, []string{"testdata/epsconsist"}, flow.NewEpsConsist())
 }
 
+// TestSrvLeakFixture exercises privleak's service-edge rules (§2i). The
+// fixture package is passed as an fmt-sink prefix, standing in for
+// internal/server's published SSE stream.
+func TestSrvLeakFixture(t *testing.T) {
+	flow.RunFixture(t, []string{"testdata/srvleak"},
+		flow.NewPrivLeak("verro/internal/lint/flow/testdata/srvleak"))
+}
+
+func TestEpsHTTPFixture(t *testing.T) {
+	flow.RunFixture(t, []string{"testdata/epshttp"}, flow.NewEpsHTTP())
+}
+
 func TestCaptureRaceFixture(t *testing.T) {
 	flow.RunFixture(t, []string{"testdata/capturerace"}, flow.NewCaptureRace())
 }
@@ -121,7 +133,7 @@ func TestProjectAnalyzersListed(t *testing.T) {
 		}
 		names = append(names, a.Name)
 	}
-	want := []string{"privleak", "epsconsist", "capturerace"}
+	want := []string{"privleak", "epsconsist", "epshttp", "capturerace"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("suite = %v, want %v", names, want)
 	}

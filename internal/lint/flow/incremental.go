@@ -1,0 +1,114 @@
+package flow
+
+// Per-package incremental analysis. The whole-program Run loop iterates
+// every function in every package to one global fixpoint; AnalyzePackage
+// analyzes a single package against the already-converged summaries of its
+// dependencies. The split is sound because taint summaries flow strictly
+// callee→caller and Go's import graph is acyclic: a package's diagnostics
+// and summaries are a function of its own source plus its dependencies'
+// summaries, nothing else, so analyzing packages in dependency order
+// reproduces the global least fixpoint exactly (DESIGN.md §2i).
+
+import (
+	"strconv"
+
+	"verro/internal/lint"
+)
+
+// Summary is the serialized caller-visible taint behavior of one function —
+// the persisted form of the engine's per-function summary, stable enough to
+// write into a fact cache. Taint bitsets are hex strings rather than JSON
+// numbers because Bits is a uint64 and JSON numbers lose integer precision
+// past 2^53; map keys are decimal parameter indices because JSON objects
+// key on strings.
+type Summary struct {
+	// Results holds each result value's taint bitset, in hex.
+	Results []string `json:"results,omitempty"`
+	// ParamSinks: parameter index → sorted descriptions of sinks the
+	// parameter reaches inside the callee.
+	ParamSinks map[string][]string `json:"param_sinks,omitempty"`
+	// ParamStores: parameter index → taint (hex bitset) stored into the
+	// parameter's object graph.
+	ParamStores map[string]string `json:"param_stores,omitempty"`
+}
+
+func exportSummary(s *summary) *Summary {
+	out := &Summary{}
+	if len(s.results) > 0 {
+		out.Results = make([]string, len(s.results))
+		for i, b := range s.results {
+			out.Results[i] = strconv.FormatUint(uint64(b), 16)
+		}
+	}
+	if len(s.paramSinks) > 0 {
+		out.ParamSinks = make(map[string][]string, len(s.paramSinks))
+		for i, hits := range s.paramSinks {
+			out.ParamSinks[strconv.Itoa(i)] = sortedHits(hits)
+		}
+	}
+	if len(s.paramStores) > 0 {
+		out.ParamStores = make(map[string]string, len(s.paramStores))
+		for i, b := range s.paramStores {
+			out.ParamStores[strconv.Itoa(i)] = strconv.FormatUint(uint64(b), 16)
+		}
+	}
+	return out
+}
+
+// internal converts the serialized form back into the engine's summary.
+// Malformed entries (hand-edited cache files) decode to zero taint — the
+// cache key scheme never feeds an entry written by a different analyzer
+// version, so this is unreachable in practice.
+func (s *Summary) internal() *summary {
+	sum := newSummary(len(s.Results))
+	for i, h := range s.Results {
+		b, _ := strconv.ParseUint(h, 16, 64)
+		sum.results[i] = Bits(b)
+	}
+	for k, hits := range s.ParamSinks {
+		i, err := strconv.Atoi(k)
+		if err != nil {
+			continue
+		}
+		for _, h := range hits {
+			addHit(sum.paramSinks, i, h)
+		}
+	}
+	for k, h := range s.ParamStores {
+		i, err := strconv.Atoi(k)
+		if err != nil {
+			continue
+		}
+		b, _ := strconv.ParseUint(h, 16, 64)
+		sum.paramStores[i] = Bits(b)
+	}
+	return sum
+}
+
+// AnalyzePackage runs this analyzer over one package, resolving calls into
+// dependencies through deps (their converged summaries, keyed by normalized
+// function name). It returns the package's own function summaries and its
+// diagnostics, already filtered through //lint:allow and sorted. Syntactic
+// analyzers (nil cfg) exchange no summaries and return an empty map.
+func (a *Analyzer) AnalyzePackage(pkg *lint.Package, deps map[string]*Summary) (map[string]*Summary, []lint.Diagnostic) {
+	prog := NewProgram([]*lint.Package{pkg})
+	allow := map[*lint.Package]*lint.AllowIndex{pkg: lint.BuildAllowIndex(pkg.Fset, pkg.Files)}
+	rep := &reporter{analyzer: a.Name, allow: allow, seen: map[string]bool{}}
+	own := map[string]*Summary{}
+	if a.cfg == nil {
+		a.run(prog, rep)
+		lint.Sort(rep.diags)
+		return own, rep.diags
+	}
+	base := make(map[string]*summary, len(deps))
+	for name, s := range deps {
+		base[name] = s.internal()
+	}
+	eng := &engine{prog: prog, cfg: a.cfg, sums: map[string]*summary{}, base: base}
+	eng.run(rep)
+	for name, s := range eng.sums {
+		own[name] = exportSummary(s)
+	}
+	lint.Sort(rep.diags)
+	return own, rep.diags
+}

@@ -41,6 +41,11 @@ func NewPrivLeak(fmtSinkPrefixes ...string) *Analyzer {
 			"verro/internal/motio.LoadCSV",
 			"verro/internal/vid.ReadFile",
 			"verro/internal/vid.Decode",
+			// Service-edge sources (§2i): a decoded stream handle yields raw
+			// frames, and a staging file re-opened for resume holds raw
+			// frames persisted before sanitization completed.
+			"verro/internal/vid.OpenFileSource",
+			"verro/internal/vid.OpenRawStore",
 		),
 		SourceFields: set(
 			"verro/internal/scene.Generated.Truth",
@@ -50,10 +55,14 @@ func NewPrivLeak(fmtSinkPrefixes ...string) *Analyzer {
 			"verro/internal/exp.Dataset.Reduced",
 			"verro/internal/core.Phase1Result.Reduced",
 			"verro/internal/core.Phase1Result.Optimal",
+			// An HTTP request body is raw client payload: verrod accepts
+			// whole octet-stream video uploads through it.
+			"net/http.Request.Body",
 		),
 		Sanitizers: set(
 			"verro/internal/core.Sanitize",
 			"verro/internal/core.SanitizeStream",
+			"verro/internal/core.SanitizeStreamFrom",
 			"verro/internal/core.SanitizeMultiType",
 			"verro/internal/core.SanitizeJoint",
 			"verro/internal/core.RunPhase1",
@@ -82,6 +91,16 @@ func NewPrivLeak(fmtSinkPrefixes ...string) *Analyzer {
 			"(verro/internal/motio.TrackSet).Len",
 			"(verro/internal/vid.Video).Len",
 			"verro/internal/exp.LoadDataset",
+			// A stream handle's geometry (name, w×h, frame count, fps) is
+			// public metadata; the frames behind it stay tainted.
+			"(verro/internal/stream.Source).Meta",
+			"(verro/internal/vid.FileSource).Meta",
+			// Decoding structured JSON parameters out of a request body is a
+			// reviewed boundary: the decoder materializes submitted numbers
+			// and paths, not frame payloads. A raw video smuggled through a
+			// JSON string field would evade this — the documented blind spot
+			// of declassifying here (§2i).
+			"(encoding/json.Decoder).Decode",
 		),
 		Sinks: map[string]*Sink{
 			"verro/internal/vid.Encode":    {Operands: []int{0}, What: "video encoder vid.Encode"},
@@ -104,6 +123,22 @@ func NewPrivLeak(fmtSinkPrefixes ...string) *Analyzer {
 				Operands: []int{0}, What: "PNG file (img.Image).WritePNG"},
 			"(verro/internal/img.Image).EncodePNG": {
 				Operands: []int{0}, What: "PNG encoder (img.Image).EncodePNG"},
+			// Service-edge sinks (§2i): everything verrod hands back to a
+			// client or persists outside the sanitization pipeline.
+			"(net/http.ResponseWriter).Write": {
+				Operands: []int{1}, What: "HTTP response body (http.ResponseWriter).Write"},
+			"net/http.ServeFile": {
+				Operands: []int{2}, What: "HTTP artifact route http.ServeFile"},
+			"(encoding/json.Encoder).Encode": {
+				Operands: []int{1}, What: "JSON response encoder (json.Encoder).Encode"},
+			"(verro/internal/store.Store).Save": {
+				Operands: []int{1}, What: "job manifest (store.Store).Save"},
+			"(verro/internal/store.FS).Save": {
+				Operands: []int{1}, What: "job manifest (store.FS).Save"},
+			"(verro/internal/vid.RawStore).Append": {
+				Operands: []int{1}, What: "raw staging file (vid.RawStore).Append"},
+			"(verro/internal/vid.RawStore).EncodeTo": {
+				Operands: []int{0}, What: "staged-frame encode (vid.RawStore).EncodeTo"},
 		},
 		FmtSinkPrefixes: fmtSinkPrefixes,
 		FuncArgResults: set(

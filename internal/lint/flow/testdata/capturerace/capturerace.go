@@ -3,7 +3,11 @@
 // (disjoint-per-worker) shard indices, nothing else that is shared.
 package capturerace
 
-import "verro/internal/par"
+import (
+	"sync"
+
+	"verro/internal/par"
+)
 
 // A captured accumulator races across workers.
 func badAccumulator(n int) int {
@@ -116,4 +120,62 @@ func goodScratch(frames [][]byte, out []byte) {
 			out[idx] = vals[len(vals)/2]
 		}
 	})
+}
+
+// --- bare goroutines (`go func(){...}()`) ---
+//
+// Unlike pool workers there is no disjoint-shard exemption: nothing
+// coordinates a bare goroutine's writes with its spawner. A write behind a
+// .Lock()/.RLock() on shared state is accepted as mutex-guarded.
+
+// A goroutine mutating a captured counter races with the spawner.
+func badGoCounter() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		total++ // want "goroutine closure writes captured variable \"total\" without holding a lock; it races with the spawner"
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// Field and map writes through a capture race the same way.
+type jobTable struct {
+	jobs map[string]int
+	last string
+}
+
+func badGoShared(t *jobTable, id string) {
+	done := make(chan struct{})
+	go func() {
+		t.jobs[id] = 1 // want "goroutine closure writes captured container t.jobs without holding a lock; it races with the spawner"
+		t.last = id    // want "goroutine closure writes field t.last of a captured value without holding a lock; it races with the spawner"
+		close(done)
+	}()
+	<-done
+}
+
+// The eventLog pattern: acquire a captured lock first, then write.
+func goodGoLocked(mu *sync.Mutex, t *jobTable, id string) {
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		t.last = id
+		mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+
+// Locals declared inside the goroutine are per-invocation storage, and
+// channel sends synchronize — both stay quiet.
+func goodGoLocal(results chan<- int, n int) {
+	go func() {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += i
+		}
+		results <- sum
+	}()
 }

@@ -1,0 +1,100 @@
+// Package srvleak is the fixture for privleak's service-edge rules
+// (DESIGN.md §2i): the HTTP-era sources (request bodies, decoded stream
+// handles, reopened staging files) and sinks (response writers, SSE fmt
+// payloads, manifest saves, staging writes, the artifact route) added for
+// verrod. The test runs NewPrivLeak with this package as an fmt-sink
+// prefix, standing in for internal/server's published SSE stream.
+package srvleak
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"verro/internal/core"
+	"verro/internal/motio"
+	"verro/internal/scene"
+	"verro/internal/store"
+	"verro/internal/stream"
+	"verro/internal/vid"
+)
+
+// Ground-truth tracks serialized straight into an HTTP response body.
+func leakResponse(w http.ResponseWriter, g *scene.Generated) {
+	buf := []byte(fmt.Sprint(g.Truth))
+	w.Write(buf) // want "raw object data reaches HTTP response body \(http\.ResponseWriter\)\.Write without passing a sanitizer"
+}
+
+// An uploaded request body echoed back: the body is the raw video payload.
+func leakEcho(w http.ResponseWriter, r *http.Request) {
+	body, _ := io.ReadAll(r.Body)
+	w.Write(body) // want "raw object data reaches HTTP response body \(http\.ResponseWriter\)\.Write without passing a sanitizer"
+}
+
+// Raw data formatted into an SSE event payload (fmt printing is a sink in
+// this package, as it is in internal/server).
+func leakSSE(w http.ResponseWriter, g *scene.Generated) {
+	fmt.Fprintf(w, "data: %v\n\n", g.Truth) // want "raw object data reaches console output \(fmt\.Fprintf\) without passing a sanitizer"
+}
+
+// Raw observations persisted inside a job manifest.
+func leakManifest(s *store.FS, g *scene.Generated) error {
+	m := &store.Manifest{ID: "job-000001", Input: fmt.Sprint(g.Truth)}
+	return s.Save(m) // want "raw object data reaches job manifest \(store\.FS\)\.Save without passing a sanitizer"
+}
+
+// Unsanitized frames written into the staging file: checkpointSink's
+// correctness rests on staging holding sanitizer output only.
+func leakStaging(rs *vid.RawStore, g *scene.Generated) error {
+	return rs.Append(g.Video.Frames) // want "raw object data reaches raw staging file \(vid\.RawStore\)\.Append without passing a sanitizer"
+}
+
+// A decoded stream handle yields raw frames; handing them to the staging
+// file is a leak through two service-edge rules at once.
+func leakDecodedFrames(rs *vid.RawStore, path string) error {
+	src, err := vid.OpenFileSource(path)
+	if err != nil {
+		return err
+	}
+	frames, _, err := src.Next(0)
+	if err != nil {
+		return err
+	}
+	return rs.Append(frames) // want "raw object data reaches raw staging file \(vid\.RawStore\)\.Append without passing a sanitizer"
+}
+
+// A staging file reopened for resume holds frames persisted before
+// sanitization completed; encoding it is publication.
+func leakReopenedStaging(path string, out io.Writer, meta stream.Meta) error {
+	rs, err := vid.OpenRawStore(path, 8, 8, 0)
+	if err != nil {
+		return err
+	}
+	_, err = rs.EncodeTo(out, meta, 0) // want "raw object data reaches staged-frame encode \(vid\.RawStore\)\.EncodeTo without passing a sanitizer"
+	return err
+}
+
+// Clean: the artifact route serves a path recorded in the manifest — raw
+// data never touches it.
+func cleanOutputRoute(w http.ResponseWriter, r *http.Request, m *store.Manifest) {
+	http.ServeFile(w, r, m.Output)
+}
+
+// Clean: geometry off a decoded handle is declassified metadata; only the
+// frames behind the handle are raw.
+func cleanMeta(w http.ResponseWriter, path string) error {
+	src, err := vid.OpenFileSource(path)
+	if err != nil {
+		return err
+	}
+	meta := src.Meta()
+	fmt.Fprintf(w, "frames: %d\n", meta.Frames)
+	return src.Close()
+}
+
+// Clean: the full service path — decode, sanitize, stage — stays silent
+// because SanitizeStreamFrom is the declassifying boundary.
+func cleanSanitized(src stream.Source, tracks *motio.TrackSet, cfg core.Config, sink stream.Sink) error {
+	_, err := core.SanitizeStreamFrom(src, tracks, cfg, sink, 0)
+	return err
+}

@@ -1,0 +1,655 @@
+// Package incr is verrolint's incremental, parallel driver. The plain
+// driver re-parses, re-type-checks, and re-analyzes every package from
+// source on every run; this one keys each package by content — its own
+// file hashes chained with its dependencies' keys and the analyzer-suite
+// version — and persists per-package facts (diagnostics plus the
+// whole-program summaries the flow and interval engines already compute)
+// in a cache directory, so an unchanged package is a file read instead of
+// a type-check.
+//
+// Soundness of the per-package split (DESIGN.md §2i): both summary engines
+// propagate facts strictly callee→caller, and Go's import graph is
+// acyclic, so a package's diagnostics and summaries are a pure function of
+// its own source and its dependencies' summaries. The cache key chains
+// dependency keys, so an edit invalidates exactly the edited package and
+// its transitive dependents; everything else replays from the cache.
+// Packages that are imported by matched packages but not matched
+// themselves (subset runs) still participate in the key chain as hash-only
+// nodes — their source affects type information, so their edits must
+// invalidate dependents — but are never analyzed, matching the plain
+// driver's view of the same package set.
+//
+// Analysis runs on internal/par: packages at the same dependency level
+// share no edges and execute concurrently, with results merged in sorted
+// package order, so the diagnostic stream is deterministic and identical
+// to the plain driver's.
+package incr
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"verro/internal/lint"
+	"verro/internal/lint/absint"
+	"verro/internal/lint/flow"
+	"verro/internal/par"
+)
+
+// FactsVersion names the fact-cache schema and analysis semantics. The
+// version hash also folds in the analyzer suite's own source hashes (when
+// the lint packages are reachable from the module root), so editing a
+// policy table invalidates every entry without touching this constant;
+// bump it for semantic changes that live outside those directories.
+const FactsVersion = "verrolint-facts-v1"
+
+// Options configures one incremental run.
+type Options struct {
+	// Dirs are the package directories to analyze (already expanded).
+	Dirs []string
+	// CacheDir persists per-package fact entries; empty runs everything
+	// fresh (still in parallel) and persists nothing.
+	CacheDir string
+	// ReadCache, when false, ignores existing entries (cold run) but still
+	// writes fresh ones. The -bench flag uses this for cold timings.
+	ReadCache bool
+	// IncludeTests mirrors Loader.IncludeTests and participates in the
+	// version key (test files change the analyzed source set).
+	IncludeTests bool
+
+	// The analyzer suites to run. Nil slices skip the suite.
+	Classic []*lint.Analyzer
+	Flow    []*flow.Analyzer
+	Absint  []*absint.Analyzer
+}
+
+// Stats reports what one run did.
+type Stats struct {
+	// Packages is how many matched packages were analyzed or replayed.
+	Packages int `json:"packages"`
+	// CacheHits is how many of them replayed from the fact cache.
+	CacheHits int `json:"cache_hits"`
+	// Loaded is how many were parsed, type-checked, and analyzed fresh.
+	Loaded int `json:"loaded"`
+}
+
+// node is one package in the dependency universe: a matched (analyzed)
+// package, or a hash-only in-module dependency of one.
+type node struct {
+	dir      string
+	path     string
+	analyzed bool
+
+	files   []fileHash
+	imports []string
+
+	deps    []*node
+	level   int
+	key     string
+	closure []*node // analyzed transitive deps, sorted by path
+
+	cached bool
+	entry  *entry
+	pkg    *lint.Package
+}
+
+type fileHash struct {
+	name string
+	sum  string
+}
+
+// entry is the persisted fact record of one package at one key.
+type entry struct {
+	Version string    `json:"version"`
+	Path    string    `json:"path"`
+	Diags   []diagRec `json:"diags,omitempty"`
+	// Flow maps analyzer name → function name → summary.
+	Flow map[string]map[string]*flow.Summary `json:"flow,omitempty"`
+	// Absint maps function name → result intervals (analyzer-independent).
+	Absint map[string][]ivRec `json:"absint,omitempty"`
+}
+
+// diagRec is one cached diagnostic. File is the basename within the
+// package directory, so entries are position-independent of the
+// invocation's working directory.
+type diagRec struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ivRec serializes one interval bound pair; strconv's 'g' formatting round-
+// trips ±Inf (and any float64 exactly), which JSON numbers cannot.
+type ivRec struct {
+	Lo string `json:"lo"`
+	Hi string `json:"hi"`
+}
+
+// Run analyzes the packages incrementally and returns the combined sorted
+// diagnostics. The diagnostic stream is identical to running the plain
+// drivers over the same directories.
+func Run(opts Options) ([]lint.Diagnostic, Stats, error) {
+	var stats Stats
+	dirs := dedupSorted(opts.Dirs)
+	if len(dirs) == 0 {
+		return nil, stats, fmt.Errorf("incr: no package directories")
+	}
+
+	// Scan every matched directory concurrently: file hashes plus imports,
+	// no full parse.
+	type scanOut struct {
+		files   []fileHash
+		imports []string
+		err     error
+	}
+	scans := par.Map(len(dirs), 1, func(i int) scanOut {
+		files, imports, err := scanDir(dirs[i], opts.IncludeTests)
+		return scanOut{files: files, imports: imports, err: err}
+	})
+	universe := map[string]*node{}
+	var nodes []*node
+	for i, dir := range dirs {
+		if scans[i].err != nil {
+			return nil, stats, scans[i].err
+		}
+		n := &node{
+			dir:      dir,
+			path:     lint.DirImportPath(dir),
+			analyzed: true,
+			files:    scans[i].files,
+			imports:  scans[i].imports,
+		}
+		if prev := universe[n.path]; prev != nil {
+			return nil, stats, fmt.Errorf("incr: %s and %s both resolve to %s", prev.dir, dir, n.path)
+		}
+		universe[n.path] = n
+		nodes = append(nodes, n)
+	}
+	stats.Packages = len(nodes)
+
+	// Pull unmatched in-module dependencies into the universe as hash-only
+	// nodes: their source shapes type information in dependents, so their
+	// edits must change dependents' keys.
+	modPath, modRoot := moduleOf(dirs[0])
+	if err := closeOverModule(universe, modPath, modRoot, opts.IncludeTests); err != nil {
+		return nil, stats, err
+	}
+	for _, n := range sortedNodes(universe) {
+		for _, imp := range n.imports {
+			if dep := universe[imp]; dep != nil && dep != n {
+				n.deps = append(n.deps, dep)
+			}
+		}
+	}
+
+	order, err := topoSort(universe)
+	if err != nil {
+		return nil, stats, err
+	}
+	version := versionHash(opts, modRoot)
+	for _, n := range order {
+		n.level = 0
+		for _, d := range n.deps {
+			if d.level+1 > n.level {
+				n.level = d.level + 1
+			}
+		}
+		n.key = contentKey(version, n)
+		n.closure = analyzedClosure(n)
+	}
+
+	// Resolve cache hits, then load what remains, sequentially in
+	// dependency order over one shared Loader (the source importer is not
+	// concurrency-safe; loading is the irreducible sequential cost).
+	loader := lint.NewLoader()
+	loader.IncludeTests = opts.IncludeTests
+	for _, n := range order {
+		if !n.analyzed {
+			continue
+		}
+		if opts.ReadCache && opts.CacheDir != "" {
+			if e := readEntry(opts.CacheDir, n.key, version, n.path); e != nil {
+				n.entry, n.cached = e, true
+				stats.CacheHits++
+				continue
+			}
+		}
+		pkg, err := loader.Load(n.dir)
+		if err != nil {
+			return nil, stats, err
+		}
+		n.pkg = pkg
+		stats.Loaded++
+	}
+
+	// Analyze level by level: nodes at one level share no edges, so they
+	// run concurrently; every dependency entry is complete before its
+	// level starts.
+	byLevel := map[int][]*node{}
+	maxLevel := 0
+	for _, n := range order {
+		if !n.analyzed || n.cached {
+			continue
+		}
+		byLevel[n.level] = append(byLevel[n.level], n)
+		if n.level > maxLevel {
+			maxLevel = n.level
+		}
+	}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		batch := byLevel[lvl]
+		if len(batch) == 0 {
+			continue
+		}
+		entries := par.Map(len(batch), 1, func(i int) *entry {
+			return analyzeNode(batch[i], opts, version)
+		})
+		for i, n := range batch {
+			n.entry = entries[i]
+			if opts.CacheDir != "" {
+				if err := writeEntry(opts.CacheDir, n.key, n.entry); err != nil {
+					return nil, stats, err
+				}
+			}
+		}
+	}
+
+	var diags []lint.Diagnostic
+	for _, n := range order {
+		if !n.analyzed || n.entry == nil {
+			continue
+		}
+		for _, d := range n.entry.Diags {
+			diags = append(diags, lint.Diagnostic{
+				Pos: token.Position{
+					Filename: filepath.Join(n.dir, filepath.FromSlash(d.File)),
+					Line:     d.Line,
+					Column:   d.Col,
+				},
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	lint.Sort(diags)
+	return diags, stats, nil
+}
+
+// analyzeNode runs every requested suite over one freshly loaded package
+// against its dependency closure's summaries, producing its cache entry.
+func analyzeNode(n *node, opts Options, version string) *entry {
+	e := &entry{Version: version, Path: n.path}
+	var diags []lint.Diagnostic
+	if len(opts.Classic) > 0 {
+		diags = append(diags, lint.Run(n.pkg, opts.Classic...)...)
+	}
+	if len(opts.Flow) > 0 {
+		e.Flow = map[string]map[string]*flow.Summary{}
+		for _, a := range opts.Flow {
+			deps := map[string]*flow.Summary{}
+			for _, m := range n.closure {
+				for name, s := range m.entry.Flow[a.Name] {
+					deps[name] = s
+				}
+			}
+			sums, ds := a.AnalyzePackage(n.pkg, deps)
+			e.Flow[a.Name] = sums
+			diags = append(diags, ds...)
+		}
+	}
+	if len(opts.Absint) > 0 {
+		deps := map[string][]absint.Interval{}
+		for _, m := range n.closure {
+			for name, ivs := range m.entry.Absint {
+				deps[name] = decodeIntervals(ivs)
+			}
+		}
+		sums, ds := absint.AnalyzePackage(n.pkg, opts.Absint, deps)
+		e.Absint = encodeIntervals(sums)
+		diags = append(diags, ds...)
+	}
+	lint.Sort(diags)
+	for _, d := range diags {
+		e.Diags = append(e.Diags, diagRec{
+			File:     filepath.ToSlash(filepath.Base(d.Pos.Filename)),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return e
+}
+
+func encodeIntervals(sums map[string][]absint.Interval) map[string][]ivRec {
+	out := make(map[string][]ivRec, len(sums))
+	for name, ivs := range sums {
+		recs := make([]ivRec, len(ivs))
+		for i, iv := range ivs {
+			recs[i] = ivRec{
+				Lo: strconv.FormatFloat(iv.Lo, 'g', -1, 64),
+				Hi: strconv.FormatFloat(iv.Hi, 'g', -1, 64),
+			}
+		}
+		out[name] = recs
+	}
+	return out
+}
+
+func decodeIntervals(recs []ivRec) []absint.Interval {
+	ivs := make([]absint.Interval, len(recs))
+	for i, r := range recs {
+		lo, _ := strconv.ParseFloat(r.Lo, 64)
+		hi, _ := strconv.ParseFloat(r.Hi, 64)
+		ivs[i] = absint.Interval{Lo: lo, Hi: hi}
+	}
+	return ivs
+}
+
+// scanDir hashes a package directory's Go files and collects their
+// imports, using the same file filter as lint.Loader (black-box _test
+// packages excluded). It parses import clauses only.
+func scanDir(dir string, includeTests bool) ([]fileHash, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []fileHash
+	importSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+		if err != nil {
+			return nil, nil, fmt.Errorf("incr: %s: %w", filepath.Join(dir, name), err)
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			// Black-box test package: the Loader never analyzes it.
+			continue
+		}
+		sum := sha256.Sum256(data)
+		files = append(files, fileHash{name: name, sum: hex.EncodeToString(sum[:])})
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("incr: no Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
+	imports := make([]string, 0, len(importSet))
+	for imp := range importSet {
+		imports = append(imports, imp)
+	}
+	sort.Strings(imports)
+	return files, imports, nil
+}
+
+// moduleOf finds the module path and root directory enclosing dir;
+// empties when dir is outside any module (fixture trees).
+func moduleOf(dir string) (path, root string) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return strings.Trim(strings.TrimSpace(rest), `"`), abs
+				}
+			}
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", ""
+		}
+		abs = parent
+	}
+}
+
+// closeOverModule adds hash-only nodes for every in-module import path the
+// universe references but does not contain, transitively.
+func closeOverModule(universe map[string]*node, modPath, modRoot string, includeTests bool) error {
+	if modPath == "" {
+		return nil
+	}
+	pending := []string{}
+	seen := map[string]bool{}
+	enqueue := func(imports []string) {
+		for _, imp := range imports {
+			if universe[imp] == nil && !seen[imp] && inModule(imp, modPath) {
+				seen[imp] = true
+				pending = append(pending, imp)
+			}
+		}
+	}
+	for _, n := range sortedNodes(universe) {
+		enqueue(n.imports)
+	}
+	for len(pending) > 0 {
+		imp := pending[0]
+		pending = pending[1:]
+		dir := modRoot
+		if imp != modPath {
+			dir = filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(imp, modPath+"/")))
+		}
+		files, imports, err := scanDir(dir, includeTests)
+		if err != nil {
+			return fmt.Errorf("incr: dependency %s: %w", imp, err)
+		}
+		universe[imp] = &node{dir: dir, path: imp, files: files, imports: imports}
+		enqueue(imports)
+	}
+	return nil
+}
+
+func inModule(imp, modPath string) bool {
+	return imp == modPath || strings.HasPrefix(imp, modPath+"/")
+}
+
+// topoSort orders the universe dependencies-first (Kahn's algorithm with a
+// sorted ready set, so the order — and every downstream iteration — is
+// deterministic). A cycle is impossible for compilable Go but fails
+// explicitly rather than hanging.
+func topoSort(universe map[string]*node) ([]*node, error) {
+	indeg := map[*node]int{}
+	dependents := map[*node][]*node{}
+	for _, n := range sortedNodes(universe) {
+		indeg[n] += 0
+		for _, d := range n.deps {
+			indeg[n]++
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+	var ready []*node
+	for _, n := range sortedNodes(universe) {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	byPath := func(i, j int) bool { return ready[i].path < ready[j].path }
+	sort.Slice(ready, byPath)
+	var order []*node
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		changed := false
+		for _, m := range dependents[n] {
+			indeg[m]--
+			if indeg[m] == 0 {
+				ready = append(ready, m)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Slice(ready, byPath)
+		}
+	}
+	if len(order) != len(universe) {
+		return nil, fmt.Errorf("incr: import cycle among %d packages", len(universe)-len(order))
+	}
+	return order, nil
+}
+
+// analyzedClosure collects the analyzed packages reachable through n's
+// dependency edges (including through hash-only nodes), sorted by path.
+// Dependencies appear earlier in topo order, so their closures are final.
+func analyzedClosure(n *node) []*node {
+	set := map[*node]bool{}
+	for _, d := range n.deps {
+		if d.analyzed {
+			set[d] = true
+		}
+		for _, m := range d.closure {
+			set[m] = true
+		}
+	}
+	out := make([]*node, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+// versionHash fingerprints everything that changes analysis output besides
+// package content: the facts schema, the toolchain, the test-file switch,
+// the suite composition, and — the self-invalidation clause — the analyzer
+// implementation's own source, hashed from the lint/driver directories
+// when the module layout exposes them.
+func versionHash(opts Options, modRoot string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|tests=%v\n", FactsVersion, runtime.Version(), opts.IncludeTests)
+	for _, a := range opts.Classic {
+		fmt.Fprintf(h, "classic:%s:%s\n", a.Name, a.Doc)
+	}
+	for _, a := range opts.Flow {
+		fmt.Fprintf(h, "flow:%s:%s\n", a.Name, a.Doc)
+	}
+	for _, a := range opts.Absint {
+		fmt.Fprintf(h, "absint:%s:%s\n", a.Name, a.Doc)
+	}
+	if modRoot != "" {
+		for _, rel := range []string{
+			"internal/lint",
+			"internal/lint/absint",
+			"internal/lint/flow",
+			"internal/lint/incr",
+			"cmd/verrolint",
+		} {
+			files, _, err := scanDir(filepath.Join(modRoot, filepath.FromSlash(rel)), false)
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				fmt.Fprintf(h, "impl:%s/%s:%s\n", rel, f.name, f.sum)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// contentKey chains a package's identity, file hashes, and dependency keys
+// under the version hash. Dependencies are keyed first (topo order), so
+// an edit anywhere in the dependency cone changes this key.
+func contentKey(version string, n *node) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", version, n.path)
+	for _, f := range n.files {
+		fmt.Fprintf(h, "file:%s:%s\n", f.name, f.sum)
+	}
+	deps := make([]string, 0, len(n.deps))
+	for _, d := range n.deps {
+		deps = append(deps, d.path+":"+d.key)
+	}
+	sort.Strings(deps)
+	for _, d := range deps {
+		fmt.Fprintf(h, "dep:%s\n", d)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func readEntry(cacheDir, key, version, path string) *entry {
+	data, err := os.ReadFile(filepath.Join(cacheDir, key+".json"))
+	if err != nil {
+		return nil
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil
+	}
+	// The key already encodes version and path; the recheck guards against
+	// a truncated or foreign file sitting at the right name.
+	if e.Version != version || e.Path != path {
+		return nil
+	}
+	return &e
+}
+
+func writeEntry(cacheDir, key string, e *entry) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(cacheDir, key+".json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(cacheDir, key+".json"))
+}
+
+// sortedNodes returns the universe's nodes in import-path order — the
+// deterministic iteration order for every graph-building loop.
+func sortedNodes(universe map[string]*node) []*node {
+	paths := make([]string, 0, len(universe))
+	for path := range universe {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	nodes := make([]*node, len(paths))
+	for i, path := range paths {
+		nodes[i] = universe[path]
+	}
+	return nodes
+}
+
+func dedupSorted(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	j := 0
+	for i, s := range out {
+		if i == 0 || s != out[j-1] {
+			out[j] = s
+			j++
+		}
+	}
+	return out[:j]
+}

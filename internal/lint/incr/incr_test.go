@@ -1,0 +1,200 @@
+package incr_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verro/internal/lint"
+	"verro/internal/lint/absint"
+	"verro/internal/lint/flow"
+	"verro/internal/lint/incr"
+)
+
+// The tests build a throwaway three-package module — c routes a value from
+// a.Source through b.Pass into a.Sink — and drive it with a purpose-built
+// taint policy, so they exercise the real cross-package summary chain
+// without paying for type-checking the verro tree.
+
+const leakyPass = "package b\n\n// Pass hands its argument through unchanged.\nfunc Pass(v int) int { return v }\n"
+
+const cleanPass = "package b\n\n// Pass drops its argument.\nfunc Pass(v int) int { return 0 }\n"
+
+func writeModule(t *testing.T, root, passSrc string) {
+	t.Helper()
+	files := []struct{ name, src string }{
+		{"go.mod", "module staletest\n\ngo 1.24.0\n"},
+		{"a/a.go", "package a\n\n// Source yields a tainted value under the test policy.\nfunc Source() int { return 42 }\n\n// Sink is the test policy's sink.\nfunc Sink(v int) {}\n"},
+		{"b/b.go", passSrc},
+		{"c/c.go", "package c\n\nimport (\n\t\"staletest/a\"\n\t\"staletest/b\"\n)\n\n// Use routes the source through the dependency into the sink.\nfunc Use() {\n\ta.Sink(b.Pass(a.Source()))\n}\n"},
+	}
+	for _, f := range files {
+		path := filepath.Join(root, filepath.FromSlash(f.name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(f.src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testAnalyzer() *flow.Analyzer {
+	return flow.NewAnalyzer("testleak", "test taint policy", &flow.TaintConfig{
+		SourceCalls: map[string]bool{"staletest/a.Source": true},
+		Sinks: map[string]*flow.Sink{
+			"staletest/a.Sink": {Operands: []int{0}, What: "test sink a.Sink"},
+		},
+		Report: "tainted value reaches %s",
+	})
+}
+
+func diagStrings(diags []lint.Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// TestIncrMatchesDirect checks the incremental driver reproduces the plain
+// whole-program drivers' diagnostics exactly, including the cross-package
+// taint chain a→b→c.
+func TestIncrMatchesDirect(t *testing.T) {
+	root := t.TempDir()
+	writeModule(t, root, leakyPass)
+	t.Chdir(root)
+	dirs := []string{"a", "b", "c"}
+
+	got, stats, err := incr.Run(incr.Options{
+		Dirs:   dirs,
+		Flow:   []*flow.Analyzer{testAnalyzer()},
+		Absint: absint.ProjectAnalyzers(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Packages != 3 || stats.Loaded != 3 || stats.CacheHits != 0 {
+		t.Fatalf("stats = %+v, want 3 packages all loaded fresh", stats)
+	}
+
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	for _, d := range dirs {
+		pkg, err := loader.Load(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	want := flow.Run(pkgs, testAnalyzer())
+	want = append(want, absint.Run(pkgs, absint.ProjectAnalyzers()...)...)
+	lint.Sort(want)
+
+	gs, ws := diagStrings(got), diagStrings(want)
+	if strings.Join(gs, "\n") != strings.Join(ws, "\n") {
+		t.Fatalf("incremental diagnostics diverge from direct run:\nincr:\n%s\ndirect:\n%s",
+			strings.Join(gs, "\n"), strings.Join(ws, "\n"))
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Message, "test sink a.Sink") {
+		t.Fatalf("want exactly the a→b→c leak, got %v", gs)
+	}
+	if !strings.HasSuffix(filepath.ToSlash(got[0].Pos.Filename), "c/c.go") {
+		t.Fatalf("leak should be reported in c/c.go, got %s", got[0].Pos.Filename)
+	}
+}
+
+// TestStaleCacheInvalidation is the stale-cache correctness gate: under a
+// fully warm cache, editing a dependency must re-analyze its dependents and
+// surface the finding the edit introduced, while untouched packages replay
+// from the cache.
+func TestStaleCacheInvalidation(t *testing.T) {
+	root := t.TempDir()
+	writeModule(t, root, cleanPass)
+	t.Chdir(root)
+	opts := func() incr.Options {
+		return incr.Options{
+			Dirs:      []string{"a", "b", "c"},
+			CacheDir:  filepath.Join(root, "factcache"),
+			ReadCache: true,
+			Flow:      []*flow.Analyzer{testAnalyzer()},
+			Absint:    absint.ProjectAnalyzers(),
+		}
+	}
+
+	cold, stats, err := incr.Run(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != 0 {
+		t.Fatalf("clean module should produce no diagnostics, got %v", diagStrings(cold))
+	}
+	if stats.Loaded != 3 || stats.CacheHits != 0 {
+		t.Fatalf("cold stats = %+v, want all 3 loaded", stats)
+	}
+
+	warm, stats2, err := incr.Run(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.CacheHits != 3 || stats2.Loaded != 0 {
+		t.Fatalf("warm stats = %+v, want all 3 cache hits", stats2)
+	}
+	if len(warm) != 0 {
+		t.Fatalf("warm replay should match cold run, got %v", diagStrings(warm))
+	}
+
+	// Edit the dependency so it now passes taint through: b's key changes,
+	// so b and its dependent c must be re-analyzed; a is untouched.
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"), []byte(leakyPass), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale, stats3, err := incr.Run(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.CacheHits != 1 || stats3.Loaded != 2 {
+		t.Fatalf("post-edit stats = %+v, want 1 hit (a) and 2 loads (b, c)", stats3)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "test sink a.Sink") {
+		t.Fatalf("edited dependency must surface the new leak in c, got %v", diagStrings(stale))
+	}
+	if !strings.HasSuffix(filepath.ToSlash(stale[0].Pos.Filename), "c/c.go") {
+		t.Fatalf("leak should be reported in c/c.go, got %s", stale[0].Pos.Filename)
+	}
+}
+
+// TestHashOnlyDependencyInvalidates covers subset runs: b is imported but
+// not in the analyzed set, so it joins the key chain as a hash-only node —
+// editing it must still invalidate c's entry.
+func TestHashOnlyDependencyInvalidates(t *testing.T) {
+	root := t.TempDir()
+	writeModule(t, root, cleanPass)
+	t.Chdir(root)
+	opts := func() incr.Options {
+		return incr.Options{
+			Dirs:      []string{"a", "c"},
+			CacheDir:  filepath.Join(root, "factcache"),
+			ReadCache: true,
+			Flow:      []*flow.Analyzer{testAnalyzer()},
+		}
+	}
+
+	if _, stats, err := incr.Run(opts()); err != nil || stats.Loaded != 2 {
+		t.Fatalf("cold subset run: stats=%+v err=%v", stats, err)
+	}
+	if _, stats, err := incr.Run(opts()); err != nil || stats.CacheHits != 2 {
+		t.Fatalf("warm subset run: stats=%+v err=%v", stats, err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "b", "b.go"), []byte(leakyPass), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := incr.Run(opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 1 || stats.Loaded != 1 {
+		t.Fatalf("editing a hash-only dep must invalidate its dependent: stats=%+v", stats)
+	}
+}

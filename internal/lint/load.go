@@ -113,6 +113,15 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	return &Package{Dir: dir, Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// DirImportPath derives the import path a Load of dir would assign, without
+// parsing anything: module path + the directory's location under the go.mod
+// root. Directories outside any module (fixtures) fall back to the base
+// directory name. The incremental driver uses this to build the package
+// dependency graph before deciding what actually needs loading.
+func DirImportPath(dir string) string {
+	return importPath(dir, filepath.Base(dir))
+}
+
 // importPath derives the package's import path from the enclosing module:
 // module path + the directory's location under the go.mod root. Directories
 // outside any module (lint fixtures) fall back to the package name.

@@ -114,6 +114,13 @@ func (s *Server) process(m *store.Manifest, l *eventLog) error {
 	cfg.Trace = trace
 	cfg.WindowFrames = m.Window
 	cfg.Workers = m.Workers
+	// The manifest's parameters came off the wire (or back off disk on a
+	// resume); nothing downstream may consume them unvalidated. Admission
+	// already vetted them, but a manifest is plain JSON anyone could have
+	// edited between runs.
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
 	if m.Eps > 0 {
 		// ε→f conversion on a render-free dry run, exactly as the CLI does
 		// it. Deterministic for a given seed, so a resumed job lands on the
@@ -177,6 +184,10 @@ func (s *Server) process(m *store.Manifest, l *eventLog) error {
 	if err != nil {
 		return err
 	}
+	// The staging file holds only sanitizer output: checkpointSink is its
+	// sole writer, and on resume OpenRawStore re-reads exactly those frames
+	// (proven equal to an uninterrupted run by stream_resume_test.go).
+	//lint:allow privleak staging contains sanitized frames only; resume equivalence covered by stream_resume_test
 	if _, err := raw.EncodeTo(out, verro.StreamOutputMeta(meta), m.Window); err != nil {
 		out.Close()
 		os.Remove(tmp)

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -268,6 +269,18 @@ func (s *Server) admit(r *http.Request) (*store.Manifest, error) {
 	}
 	if req.Workers == 0 {
 		req.Workers = s.cfg.Workers
+	}
+	// Vet the privacy parameters at admission so a bad request fails with a
+	// 400 now instead of an asynchronous job failure later. The runner
+	// re-validates before use (the manifest is plain JSON on disk), but the
+	// client-facing contract is enforced here.
+	probe := verro.DefaultConfig()
+	probe.Phase1.F = req.F
+	if err := probe.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Eps != 0 && !(req.Eps > 0 && !math.IsInf(req.Eps, 1)) {
+		return nil, fmt.Errorf("eps %v out of range (want finite > 0)", req.Eps)
 	}
 
 	id := s.allocID()

@@ -9,15 +9,26 @@ GO ?= go
 ## instead of re-type-checking it.
 LINTCACHE ?= .lint-cache
 
-.PHONY: check vet build lint lint-flow lint-absint bench-lint fmt-check test test-stream test-server race race-par fuzz fuzz-short bench bench-json clean
+.PHONY: check nightly vet build lint lint-flow lint-absint lint-perf bench-lint fmt-check test test-stream test-server race race-par fuzz fuzz-short bench bench-json bench-hotpath bench-compare clean
 
-## check: the CI gate — vet, build, verrolint (classic + flow, baselined),
-## the interval analyzers (-absint), gofmt, the streaming equivalence and
-## memory-ceiling suite, the verrod job-service suite, the targeted
-## worker-pool race gate, the full race suite, and a short fuzz pass over
-## both the .vvf codec and the stream-window planner.
-## Fails on any new lint diagnostic or unformatted file.
-check: vet build lint lint-absint fmt-check test-stream test-server race-par race fuzz-short
+## check: the PR CI gate — vet, build, verrolint (classic + flow, baselined),
+## the interval analyzers (-absint), the performance analyzers (-perf),
+## gofmt, the streaming equivalence and memory-ceiling suite, the verrod
+## job-service suite, the targeted worker-pool race gate, and a short fuzz
+## pass over both the .vvf codec and the stream-window planner.
+## Fails on any new lint diagnostic or unformatted file. The full -race
+## suite and the long fuzz/benchmark gates run in `make nightly` so the PR
+## path stays fast.
+check: vet build lint lint-absint lint-perf fmt-check test-stream test-server race-par fuzz-short
+
+## nightly: the slow gate (see .github/workflows/nightly.yml) — the whole
+## PR gate plus the full race suite, a long fuzz pass on both fuzz targets,
+## and the benchmark regression comparison against the committed
+## BENCH_*.json records.
+nightly: check race
+	$(MAKE) fuzz FUZZTIME=150s
+	$(GO) test -run='^$$' -fuzz=FuzzStreamWindow -fuzztime=150s .
+	$(MAKE) bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +55,13 @@ lint-flow:
 ## the multiset diff cannot collide across passes.
 lint-absint:
 	$(GO) run ./cmd/verrolint -classic=false -flow=false -absint -cache $(LINTCACHE) -baseline lint-baseline.json ./...
+
+## lint-perf: only the hot-path performance analyzers (hotalloc, hotescape,
+## bce — DESIGN.md §2j). No baseline: the tree must sweep clean, with
+## deliberate exceptions carrying justified //lint:allow directives (which
+## the stale-allow pass keeps honest).
+lint-perf:
+	$(GO) run ./cmd/verrolint -classic=false -flow=false -perf -cache $(LINTCACHE) ./...
 
 ## bench-lint: regenerate BENCH_lint.json — wall time of a cold incremental
 ## run (cache populated from scratch) vs. a warm replay of the whole repo
@@ -106,9 +124,28 @@ fuzz-short:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
-## bench-json: regenerate BENCH_parallel.json (worker-pool ns/op at 1 vs 4 workers).
+## bench-json: regenerate BENCH_parallel.json (worker-pool ns/op at 1 vs 4
+## workers, best of 3 runs — the recorder keeps the minimum per name).
 bench-json:
-	VERRO_BENCH_JSON=BENCH_parallel.json $(GO) test -run='^$$' -bench=BenchmarkPar -benchtime=2x .
+	VERRO_BENCH_JSON=BENCH_parallel.json $(GO) test -run='^$$' -bench=BenchmarkPar -benchtime=2x -count=3 .
+
+## bench-hotpath: regenerate the measured side of BENCH_hotpath.json (the
+## single-threaded kernel hot paths). Note this rewrites the file in the
+## plain recorder schema — the committed baseline_ns_per_op/speedup fields
+## document the pre-sweep tree and are historical.
+bench-hotpath:
+	VERRO_BENCH_JSON=BENCH_hotpath.json $(GO) test -run='^$$' -bench=BenchmarkHot -benchtime=50x .
+
+## bench-compare: the benchmark regression gate — re-measure the worker-pool
+## and hot-path benchmarks into a scratch dir and fail if any committed
+## reference number regressed by more than 15% (cmd/benchcmp).
+BENCHTMP ?= .bench-tmp
+bench-compare:
+	@mkdir -p $(BENCHTMP)
+	VERRO_BENCH_JSON=$(BENCHTMP)/parallel.json $(GO) test -run='^$$' -bench=BenchmarkPar -benchtime=2x -count=3 .
+	VERRO_BENCH_JSON=$(BENCHTMP)/hotpath.json $(GO) test -run='^$$' -bench=BenchmarkHot -benchtime=20x -count=3 .
+	$(GO) run ./cmd/benchcmp -ref BENCH_parallel.json -new $(BENCHTMP)/parallel.json -tolerance 0.15
+	$(GO) run ./cmd/benchcmp -ref BENCH_hotpath.json -new $(BENCHTMP)/hotpath.json -tolerance 0.15
 
 clean:
-	rm -rf results
+	rm -rf results $(BENCHTMP)

@@ -53,11 +53,16 @@ func recordBench(b *testing.B) {
 		}
 		benchMu.Lock()
 		defer benchMu.Unlock()
-		// The harness re-runs a benchmark while ramping b.N; keep only the
-		// final (longest) measurement per name.
+		// The harness re-runs a benchmark while ramping b.N (keep the
+		// longest run) and -count repeats it at the final N (keep the
+		// fastest: min-of-N is the standard noise-robust estimator, and on
+		// the shared CI hosts single measurements can swing 20%).
 		for i := range benchRecords {
 			if benchRecords[i].Name == rec.Name {
-				benchRecords[i] = rec
+				if rec.N > benchRecords[i].N ||
+					(rec.N == benchRecords[i].N && rec.NsPerOp < benchRecords[i].NsPerOp) {
+					benchRecords[i] = rec
+				}
 				return
 			}
 		}

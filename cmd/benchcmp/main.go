@@ -1,0 +1,110 @@
+// Command benchcmp compares two VERRO_BENCH_JSON reports (see
+// bench_json_test.go for the schema) and fails when any benchmark in the
+// reference slowed down by more than the tolerance in the new measurement.
+// It is the `make bench-compare` regression gate:
+//
+//	benchcmp -ref BENCH_parallel.json -new /tmp/bench.json -tolerance 0.15
+//
+// Matching is by benchmark name. Benchmarks present only in the reference
+// are reported as missing and fail the gate (a silently dropped benchmark
+// is indistinguishable from an unbounded regression); benchmarks present
+// only in the new report are listed but do not fail. Speedups never fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type record struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+type report struct {
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Note       string   `json:"note,omitempty"`
+	Records    []record `json:"records"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	refPath := flag.String("ref", "", "committed reference report (required)")
+	newPath := flag.String("new", "", "freshly measured report (required)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed slowdown fraction before failing")
+	flag.Parse()
+	if *refPath == "" || *newPath == "" || *tolerance < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ref, err := load(*refPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	if ref.GoMaxProcs != cur.GoMaxProcs || ref.NumCPU != cur.NumCPU {
+		fmt.Printf("note: host mismatch (ref %d/%d procs, new %d/%d) — ratios may reflect the host, not the code\n",
+			ref.GoMaxProcs, ref.NumCPU, cur.GoMaxProcs, cur.NumCPU)
+	}
+
+	curByName := make(map[string]record, len(cur.Records))
+	for _, r := range cur.Records {
+		curByName[r.Name] = r
+	}
+	refNames := make(map[string]bool, len(ref.Records))
+
+	failed := 0
+	for _, old := range ref.Records {
+		refNames[old.Name] = true
+		now, ok := curByName[old.Name]
+		if !ok {
+			fmt.Printf("FAIL %-40s missing from new report\n", old.Name)
+			failed++
+			continue
+		}
+		if old.NsPerOp <= 0 {
+			fmt.Printf("skip %-40s non-positive reference ns/op\n", old.Name)
+			continue
+		}
+		ratio := now.NsPerOp/old.NsPerOp - 1
+		verdict := "ok  "
+		if ratio > *tolerance {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-40s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			verdict, old.Name, old.NsPerOp, now.NsPerOp, ratio*100)
+	}
+	for _, r := range cur.Records {
+		if !refNames[r.Name] {
+			fmt.Printf("new  %-40s %12.0f ns/op (not in reference)\n", r.Name, r.NsPerOp)
+		}
+	}
+
+	if failed > 0 {
+		fmt.Printf("benchcmp: %d benchmark(s) regressed beyond %.0f%%\n", failed, *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d benchmark(s) within %.0f%% of %s\n", len(ref.Records), *tolerance*100, *refPath)
+}

@@ -99,7 +99,6 @@ func runStream(opt options) error {
 	}
 	defer src.Close()
 	meta := src.Meta()
-	//lint:allow privleak %v formats the video's size summary, not its content
 	fmt.Printf("input: %s %dx%d %d frames (streaming, window %d)\n", meta.Name, meta.W, meta.H, meta.Frames, opt.window)
 
 	var trace *verro.Trace

@@ -6,11 +6,19 @@
 // from validated configs, and worker-pool closures stay race-free, plus —
 // behind -absint — the interval abstract interpreters (internal/lint/absint)
 // that prove numeric invariants by value: probabilities in [0,1], ε ≥ 0,
-// nonzero divisors, in-bounds kernel indexing.
+// nonzero divisors, in-bounds kernel indexing — plus, behind -perf, the
+// hot-path performance suite (internal/lint/perf): no allocations, no
+// escapes, and no uneliminable bounds checks inside the per-frame kernel
+// loops and worker-pool closures.
+//
+// Every run also reports stale //lint:allow directives: a directive naming
+// an analyzer that ran but suppressed nothing has rotted and must be
+// removed (suppress a deliberately speculative one with
+// //lint:allow staleallow).
 //
 // Usage:
 //
-//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-baseline file] [-cache dir [-bench file]] [pattern ...]
+//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-perf] [-baseline file] [-cache dir [-bench file]] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
 // ("./..." is the default). The flow analyzers see every matched package as
@@ -47,6 +55,7 @@ import (
 	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
 	"verro/internal/lint/incr"
+	"verro/internal/lint/perf"
 )
 
 func main() {
@@ -72,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	classic := fl.Bool("classic", true, "run the classic single-expression analyzers")
 	flowOn := fl.Bool("flow", true, "run the dataflow analyzers (privleak, epsconsist, capturerace)")
 	absintOn := fl.Bool("absint", false, "run the interval analyzers (probrange, divzero, idxbound)")
+	perfOn := fl.Bool("perf", false, "run the hot-path performance analyzers (hotalloc, hotescape, bce)")
 	baseline := fl.String("baseline", "", "JSON baseline file (a prior -json run); only diagnostics not in it fail")
 	cache := fl.String("cache", "", "fact-cache directory: analyze incrementally and in parallel, persisting per-package facts")
 	bench := fl.String("bench", "", "with -cache: time a cold then a warm run and write the JSON timing report to this file")
@@ -86,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	analyzers := lint.ProjectAnalyzers()
 	flowAnalyzers := flow.ProjectAnalyzers()
 	absintAnalyzers := absint.ProjectAnalyzers()
+	perfAnalyzers := perf.ProjectAnalyzers()
+	bce := perf.NewProjectBCE()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
@@ -96,6 +108,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range absintAnalyzers {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range perfAnalyzers {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stdout, "%-11s %s\n", bce.Name, bce.Doc)
+		fmt.Fprintf(stdout, "%-11s %s\n", lint.StaleAllowsName, "//lint:allow directives must still suppress a diagnostic")
 		return 0
 	}
 
@@ -129,6 +146,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *absintOn {
 			opts.Absint = absintAnalyzers
 		}
+		if *perfOn {
+			opts.Absint = append(opts.Absint, bce)
+			opts.Perf = perfAnalyzers
+			opts.PerfCfg = perf.ProjectConfig()
+		}
+		opts.StaleAllows = true
 		var err error
 		if *bench != "" {
 			diags, err = runBench(opts, *bench, stderr)
@@ -159,8 +182,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *flowOn {
 			diags = append(diags, flow.Run(pkgs, flowAnalyzers...)...)
 		}
+		var absintRun []*absint.Analyzer
 		if *absintOn {
-			diags = append(diags, absint.Run(pkgs, absintAnalyzers...)...)
+			absintRun = append(absintRun, absintAnalyzers...)
+		}
+		if *perfOn {
+			absintRun = append(absintRun, bce)
+		}
+		if len(absintRun) > 0 {
+			diags = append(diags, absint.Run(pkgs, absintRun...)...)
+		}
+		if *perfOn {
+			diags = append(diags, perf.Run(pkgs, perf.ProjectConfig(), perfAnalyzers...)...)
+		}
+		// Stale-allow detection runs last so every suite's suppressions
+		// have been recorded against the shared per-package allow index.
+		for _, pkg := range pkgs {
+			ran := map[string]bool{}
+			if *classic {
+				for _, a := range analyzers {
+					ran[a.Name] = true
+				}
+			}
+			if *flowOn {
+				for _, a := range flowAnalyzers {
+					ran[a.Name] = true
+				}
+			}
+			for _, a := range absintRun {
+				if a.Match == nil || a.Match(pkg.Path) {
+					ran[a.Name] = true
+				}
+			}
+			if *perfOn {
+				for _, a := range perfAnalyzers {
+					ran[a.Name] = true
+				}
+			}
+			diags = append(diags, pkg.Allow().StaleAllows(ran)...)
 		}
 		lint.Sort(diags)
 	}

@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"verro/internal/lint"
+	"verro/internal/lint/absint"
+	"verro/internal/lint/flow"
+	"verro/internal/lint/perf"
+)
+
+// The perfdemo fixture plants one finding per perf analyzer inside a
+// par.For closure (a hot root under the project policy even outside the
+// kernel packages): a per-iteration make (hotalloc), a per-iteration
+// closure (hotescape), and data-dependent indexing the interval prover
+// cannot eliminate (bce). It is the acceptance check for the assembled
+// -perf driver: hot-set construction, the interval cross-feed, reporting.
+
+func perfDemoDiags(t *testing.T, extra ...string) []jsonDiag {
+	t.Helper()
+	args := append([]string{"-classic=false", "-flow=false", "-perf", "-json"}, extra...)
+	args = append(args, "./testdata/perfdemo")
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	return diags
+}
+
+func TestRunPerfCatchesSeededFindings(t *testing.T) {
+	diags := perfDemoDiags(t)
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.File == "" || d.Line == 0 || d.Col == 0 {
+			t.Errorf("diagnostic missing file:line:col: %+v", d)
+		}
+	}
+	if byAnalyzer["hotalloc"] != 1 || byAnalyzer["hotescape"] != 1 || byAnalyzer["bce"] == 0 {
+		t.Errorf("per-analyzer counts = %v, want hotalloc=1 hotescape=1 bce>=1", byAnalyzer)
+	}
+}
+
+// Without -perf the seeded findings must pass: the perf suite is opt-in
+// and the fixture is clean under every other suite.
+func TestRunPerfOffSkipsFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-classic=false", "-flow=false", "./testdata/perfdemo"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRunPerfCacheMatchesPlain runs the perf fixture through the
+// incremental driver twice — cold, then warm — and checks both passes
+// emit byte-for-byte the plain driver's diagnostic stream.
+func TestRunPerfCacheMatchesPlain(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-classic=false", "-flow=false", "-perf", "./testdata/perfdemo"}, &plain, &plainErr); code != 1 {
+		t.Fatalf("plain exit = %d, want 1\nstderr: %s", code, plainErr.String())
+	}
+	cacheDir := t.TempDir()
+	for _, pass := range []string{"cold", "warm"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-classic=false", "-flow=false", "-perf", "-cache", cacheDir, "./testdata/perfdemo"}, &stdout, &stderr)
+		if code != 1 {
+			t.Fatalf("%s cache run exit = %d, want 1\nstderr: %s", pass, code, stderr.String())
+		}
+		if stdout.String() != plain.String() {
+			t.Errorf("%s cache run diverges from plain driver:\n%s\nplain:\n%s",
+				pass, stdout.String(), plain.String())
+		}
+	}
+}
+
+// TestRunPerfBenchMatchesPlain drives -bench with -perf: the cold and
+// warm passes inside one -bench run must still produce the plain
+// diagnostic stream (byte-stable), and the timing report must land.
+func TestRunPerfBenchMatchesPlain(t *testing.T) {
+	var plain, plainErr bytes.Buffer
+	if code := run([]string{"-classic=false", "-flow=false", "-perf", "./testdata/perfdemo"}, &plain, &plainErr); code != 1 {
+		t.Fatalf("plain exit = %d, want 1\nstderr: %s", code, plainErr.String())
+	}
+	benchFile := filepath.Join(t.TempDir(), "BENCH_lint.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-classic=false", "-flow=false", "-perf", "-cache", t.TempDir(), "-bench", benchFile, "./testdata/perfdemo"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("bench exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if stdout.String() != plain.String() {
+		t.Errorf("bench run diagnostics diverge from plain driver:\n%s\nplain:\n%s",
+			stdout.String(), plain.String())
+	}
+	if _, err := os.Stat(benchFile); err != nil {
+		t.Errorf("bench report not written: %v", err)
+	}
+}
+
+// TestRunPerfBaselineAbsorbs writes the fixture's findings as a baseline
+// and re-runs against it: every diagnostic is absorbed, so the run exits 0
+// with no output. A baseline plus the cache must behave identically.
+func TestRunPerfBaselineAbsorbs(t *testing.T) {
+	diags := perfDemoDiags(t)
+	data, err := json.Marshal(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	for _, extra := range [][]string{nil, {"-cache", cacheDir}, {"-cache", cacheDir}} {
+		args := append([]string{"-classic=false", "-flow=false", "-perf", "-baseline", baseline}, extra...)
+		args = append(args, "./testdata/perfdemo")
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("baselined run (extra=%v) exit = %d, want 0\nstdout: %s\nstderr: %s",
+				extra, code, stdout.String(), stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("baselined run (extra=%v) produced output:\n%s", extra, stdout.String())
+		}
+	}
+}
+
+// TestRunPerfAllSuppressed: the perfallowdemo twin carries a justified
+// //lint:allow on every seeded line, so the run exits 0 — and the
+// always-on stale-allow pass must not flag any of the directives, since
+// each still suppresses a live diagnostic.
+func TestRunPerfAllSuppressed(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-classic=false", "-flow=false", "-perf", "./testdata/perfallowdemo"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("all-suppressed run produced output:\n%s", stdout.String())
+	}
+}
+
+// Without -perf the allows in perfallowdemo name analyzers that never
+// ran, so the stale-allow pass must NOT flag them (an unverifiable allow
+// is not a stale one — only directives whose analyzer ran and found
+// nothing to suppress are). The run exits clean.
+func TestRunPerfAllowsNotStaleWithoutPerf(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-classic=false", "-flow=false", "-json", "./testdata/perfallowdemo"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (allows for suites that did not run are unverifiable, not stale)\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+// TestPerfAnalyzerNamesUniqueAcrossSuites extends the shared-baseline
+// collision guard to the perf suite, the bce interval analyzer, and the
+// stale-allow pseudo-analyzer.
+func TestPerfAnalyzerNamesUniqueAcrossSuites(t *testing.T) {
+	seen := map[string]string{}
+	record := func(name, suite string) {
+		if prev, ok := seen[name]; ok {
+			t.Errorf("analyzer name %q used by both %s and %s", name, prev, suite)
+		}
+		seen[name] = suite
+	}
+	for _, a := range lint.ProjectAnalyzers() {
+		record(a.Name, "classic")
+	}
+	for _, a := range flow.ProjectAnalyzers() {
+		record(a.Name, "flow")
+	}
+	for _, a := range absint.ProjectAnalyzers() {
+		record(a.Name, "absint")
+	}
+	for _, a := range perf.ProjectAnalyzers() {
+		record(a.Name, "perf")
+	}
+	record(perf.NewProjectBCE().Name, "perf-bce")
+	record(lint.StaleAllowsName, "staleallow")
+}

@@ -1,0 +1,29 @@
+// Package main is the perfdemo fixture with every finding deliberately
+// suppressed: the driver tests assert a run where all diagnostics carry a
+// justified //lint:allow exits 0 — and that none of the allows is flagged
+// as stale, since each still suppresses a live diagnostic.
+package main
+
+import (
+	"fmt"
+
+	"verro/internal/par"
+)
+
+func sweep(xs []float64, idx []int) float64 {
+	var total float64
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tmp := make([]float64, 2)               //lint:allow hotalloc fixture: deliberate per-iteration scratch
+			f := func() float64 { return tmp[0] }   //lint:allow hotescape fixture: deliberate per-iteration closure
+			total += xs[idx[i]] + f() + xs[i]*0.125 //lint:allow bce fixture: deliberate data-dependent index
+		}
+	})
+	return total
+}
+
+func main() {
+	xs := make([]float64, 64)
+	idx := make([]int, 64)
+	fmt.Println(sweep(xs, idx))
+}

@@ -1,0 +1,31 @@
+// Package main is the seeded hot-path fixture the driver tests feed to
+// the -perf suite: a cmd/verro-style binary whose par.For closure (a hot
+// root under the project policy, even outside the kernel packages)
+// allocates per iteration, builds a closure per iteration, and indexes
+// with a bounds check the prover cannot eliminate. Each analyzer of the
+// suite (hotalloc, hotescape, bce) must flag exactly one line here.
+package main
+
+import (
+	"fmt"
+
+	"verro/internal/par"
+)
+
+func sweep(xs []float64, idx []int) float64 {
+	var total float64
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tmp := make([]float64, 2)               // hotalloc: per-iteration slice
+			f := func() float64 { return tmp[0] }   // hotescape: per-iteration closure
+			total += xs[idx[i]] + f() + xs[i]*0.125 // bce: data-dependent index
+		}
+	})
+	return total
+}
+
+func main() {
+	xs := make([]float64, 64)
+	idx := make([]int, 64)
+	fmt.Println(sweep(xs, idx))
+}

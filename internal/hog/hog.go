@@ -67,35 +67,47 @@ func Compute(m *img.Image, c Config) ([]float64, error) {
 	cellsX := m.W / c.CellSize
 	cellsY := m.H / c.CellSize
 
-	// Cell histograms with bilinear orientation binning.
+	// Cell histograms with bilinear orientation binning. The histograms
+	// share one flat backing buffer; a per-cell make would allocate
+	// cellsX*cellsY times.
 	cells := make([][]float64, cellsX*cellsY)
+	cellBuf := make([]float64, len(cells)*c.Bins)
 	for i := range cells {
-		cells[i] = make([]float64, c.Bins)
+		cells[i] = cellBuf[i*c.Bins : (i+1)*c.Bins]
 	}
 	binWidth := 180.0 / float64(c.Bins)
 	for y := 0; y < cellsY*c.CellSize; y++ {
-		for x := 0; x < cellsX*c.CellSize; x++ {
-			i := y*m.W + x
-			mag := math.Hypot(gx[i], gy[i])
-			if mag == 0 {
-				continue
+		rowOff := y * m.W
+		cellRow := cells[(y/c.CellSize)*cellsX : (y/c.CellSize)*cellsX+cellsX]
+		for cx, hist := range cellRow {
+			off := rowOff + cx*c.CellSize
+			cgx := gx[off : off+c.CellSize]
+			cgy := gy[off : off+c.CellSize]
+			k := len(cgx)
+			if len(cgy) < k {
+				k = len(cgy)
 			}
-			ang := math.Atan2(gy[i], gx[i]) * 180 / math.Pi // (-180, 180]
-			if ang < 0 {
-				ang += 180 // unsigned orientation
+			for px := 0; px < k; px++ {
+				mag := math.Hypot(cgx[px], cgy[px])
+				if mag == 0 {
+					continue
+				}
+				ang := math.Atan2(cgy[px], cgx[px]) * 180 / math.Pi // (-180, 180]
+				if ang < 0 {
+					ang += 180 // unsigned orientation
+				}
+				if ang >= 180 {
+					ang -= 180
+				}
+				pos := ang/binWidth - 0.5
+				lo := int(math.Floor(pos))
+				frac := pos - float64(lo)
+				hi := lo + 1
+				loBin := ((lo % c.Bins) + c.Bins) % c.Bins
+				hiBin := hi % c.Bins
+				hist[loBin] += mag * (1 - frac) //lint:allow bce orientation bin is data-dependent; the mod arithmetic keeps it in [0, Bins) = len(hist)
+				hist[hiBin] += mag * frac       //lint:allow bce orientation bin is data-dependent; the mod arithmetic keeps it in [0, Bins) = len(hist)
 			}
-			if ang >= 180 {
-				ang -= 180
-			}
-			pos := ang/binWidth - 0.5
-			lo := int(math.Floor(pos))
-			frac := pos - float64(lo)
-			hi := lo + 1
-			loBin := ((lo % c.Bins) + c.Bins) % c.Bins
-			hiBin := hi % c.Bins
-			cell := (y/c.CellSize)*cellsX + x/c.CellSize
-			cells[cell][loBin] += mag * (1 - frac)
-			cells[cell][hiBin] += mag * frac
 		}
 	}
 
@@ -104,16 +116,18 @@ func Compute(m *img.Image, c Config) ([]float64, error) {
 	blocksY := (cellsY-c.BlockSize)/c.BlockStride + 1
 	out := make([]float64, 0, wantLen)
 	block := make([]float64, c.BlockSize*c.BlockSize*c.Bins)
+	normed := make([]float64, len(block))
 	for by := 0; by < blocksY; by++ {
 		for bx := 0; bx < blocksX; bx++ {
 			block = block[:0]
 			for cy := 0; cy < c.BlockSize; cy++ {
-				for cx := 0; cx < c.BlockSize; cx++ {
-					cell := (by*c.BlockStride+cy)*cellsX + bx*c.BlockStride + cx
-					block = append(block, cells[cell]...)
+				start := (by*c.BlockStride+cy)*cellsX + bx*c.BlockStride
+				for _, cell := range cells[start : start+c.BlockSize] {
+					block = append(block, cell...)
 				}
 			}
-			out = append(out, l2hys(block)...)
+			l2hysInto(normed, block)
+			out = append(out, normed...)
 		}
 	}
 	if len(out) != wantLen {
@@ -132,18 +146,22 @@ func ComputeWindow(m *img.Image, x, y, w, h int, c Config) ([]float64, error) {
 	return Compute(sub, c)
 }
 
-// l2hys applies L2 normalization, clipping at 0.2, and renormalization.
-func l2hys(v []float64) []float64 {
-	out := make([]float64, len(v))
+// l2hysInto applies L2 normalization, clipping at 0.2, and renormalization,
+// writing into the caller's equally-sized buffer so the per-block loop does
+// not allocate.
+func l2hysInto(dst, v []float64) {
+	n := len(dst)
+	if len(v) < n {
+		n = len(v)
+	}
 	norm := l2(v) + 1e-6
-	for i, x := range v {
-		out[i] = math.Min(x/norm, 0.2)
+	for i := 0; i < n; i++ {
+		dst[i] = math.Min(v[i]/norm, 0.2)
 	}
-	norm = l2(out) + 1e-6
-	for i := range out {
-		out[i] /= norm
+	norm = l2(dst) + 1e-6
+	for i := range dst {
+		dst[i] /= norm
 	}
-	return out
 }
 
 func l2(v []float64) float64 {

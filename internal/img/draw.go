@@ -88,17 +88,19 @@ func (m *Image) DrawEllipse(r geom.Rect, c RGB) {
 func (m *Image) Shade(r geom.Rect, factor float64) {
 	factor = geom.ClampF(factor, 0, 4)
 	r = r.Clip(m.Bounds())
+	w := r.Dx()
 	for y := r.Min.Y; y < r.Max.Y; y++ {
-		i := m.offset(r.Min.X, y)
-		for x := r.Min.X; x < r.Max.X; x++ {
+		off := m.offset(r.Min.X, y)
+		row := m.Pix[off : off+w*3]
+		for x := 0; x < w; x++ {
+			p := row[x*3 : x*3+3]
 			for c := 0; c < 3; c++ {
-				v := float64(m.Pix[i+c]) * factor
+				v := float64(p[c]) * factor
 				if v > 255 {
 					v = 255
 				}
-				m.Pix[i+c] = uint8(v)
+				p[c] = uint8(v)
 			}
-			i += 3
 		}
 	}
 }
@@ -112,13 +114,15 @@ func (m *Image) AddNoise(amp int, seed uint64) {
 		return
 	}
 	for y := 0; y < m.H; y++ {
+		off := m.offset(0, y)
+		row := m.Pix[off : off+m.W*3]
 		for x := 0; x < m.W; x++ {
 			h := hash3(uint64(x), uint64(y), seed)
-			i := m.offset(x, y)
+			p := row[x*3 : x*3+3]
 			for c := 0; c < 3; c++ {
 				n := int(h>>(c*8)&0xff)%(2*amp+1) - amp
-				v := int(m.Pix[i+c]) + n
-				m.Pix[i+c] = uint8(geom.Clamp(v, 0, 255))
+				v := int(p[c]) + n
+				p[c] = uint8(geom.Clamp(v, 0, 255))
 			}
 		}
 	}
@@ -146,10 +150,11 @@ func (m *Image) VerticalGradient(a, b RGB) {
 			G: lerp8(a.G, b.G, t),
 			B: lerp8(a.B, b.B, t),
 		}
-		i := m.offset(0, y)
+		off := m.offset(0, y)
+		row := m.Pix[off : off+m.W*3]
 		for x := 0; x < m.W; x++ {
-			m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
-			i += 3
+			p := row[x*3 : x*3+3]
+			p[0], p[1], p[2] = c.R, c.G, c.B
 		}
 	}
 }

@@ -59,8 +59,12 @@ func (m *Image) Scale(factor float64) *Image {
 func (m *Image) GrayPlane() []float64 {
 	out := make([]float64, m.W*m.H)
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			out[y*m.W+x] = float64(m.At(x, y).Gray())
+		row := out[y*m.W : y*m.W+m.W]
+		off := m.offset(0, y)
+		prow := m.Pix[off : off+m.W*3]
+		for x := range row {
+			p := prow[x*3 : x*3+3]
+			row[x] = float64(RGB{p[0], p[1], p[2]}.Gray())
 		}
 	}
 	return out
@@ -72,16 +76,61 @@ func (m *Image) Gradients() (gx, gy []float64) {
 	gray := m.GrayPlane()
 	gx = make([]float64, m.W*m.H)
 	gy = make([]float64, m.W*m.H)
-	at := func(x, y int) float64 {
-		x = geom.Clamp(x, 0, m.W-1)
-		y = geom.Clamp(y, 0, m.H-1)
-		return gray[y*m.W+x]
-	}
-	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			i := y*m.W + x
-			gx[i] = at(x+1, y) - at(x-1, y)
-			gy[i] = at(x, y+1) - at(x, y-1)
+	w, h := m.W, m.H
+	for y := 0; y < h; y++ {
+		yu, yd := y-1, y+1
+		if yu < 0 {
+			yu = 0
+		}
+		if yd > h-1 {
+			yd = h - 1
+		}
+		cur := gray[y*w : y*w+w]
+		up := gray[yu*w : yu*w+w]
+		down := gray[yd*w : yd*w+w]
+		gxr := gx[y*w : y*w+w]
+		gyr := gy[y*w : y*w+w]
+		n := len(cur)
+		if len(up) < n {
+			n = len(up)
+		}
+		if len(down) < n {
+			n = len(down)
+		}
+		if len(gyr) < n {
+			n = len(gyr)
+		}
+		for x := 0; x < n; x++ {
+			gyr[x] = down[x] - up[x]
+		}
+		// Horizontal gradient: the clamped neighbours only matter at the
+		// row ends, so the interior runs over pre-shifted slices and the
+		// two edge pixels are peeled off through fixed-size windows.
+		if n == 1 {
+			first := gxr[0:1]
+			first[0] = 0
+			continue
+		}
+		if n > 1 {
+			head := cur[0:2]
+			tail := cur[n-2 : n-2+2]
+			first := gxr[0:1]
+			last := gxr[n-1 : n-1+1]
+			first[0] = head[1] - head[0]
+			last[0] = tail[1] - tail[0]
+			dst := gxr[1 : n-1]
+			right := cur[2:n]
+			left := cur[0 : n-2]
+			k := len(dst)
+			if len(right) < k {
+				k = len(right)
+			}
+			if len(left) < k {
+				k = len(left)
+			}
+			for x := 0; x < k; x++ {
+				dst[x] = right[x] - left[x]
+			}
 		}
 	}
 	return gx, gy
@@ -97,11 +146,23 @@ type Integral struct {
 // NewIntegral builds the summed-area table of plane (w×h, row-major).
 func NewIntegral(plane []float64, w, h int) *Integral {
 	it := &Integral{w: w, h: h, sum: make([]float64, (w+1)*(h+1))}
+	w1 := w + 1
 	for y := 0; y < h; y++ {
 		var row float64
-		for x := 0; x < w; x++ {
-			row += plane[y*w+x]
-			it.sum[(y+1)*(w+1)+(x+1)] = it.sum[y*(w+1)+(x+1)] + row
+		prow := plane[y*w : y*w+w]
+		// Skip the zero guard column so prev/cur line up with prow.
+		prev := it.sum[y*w1+1 : y*w1+w1]
+		cur := it.sum[(y+1)*w1+1 : (y+1)*w1+w1]
+		k := len(prow)
+		if len(prev) < k {
+			k = len(prev)
+		}
+		if len(cur) < k {
+			k = len(cur)
+		}
+		for x := 0; x < k; x++ {
+			row += prow[x]
+			cur[x] = prev[x] + row
 		}
 	}
 	return it
@@ -139,7 +200,8 @@ func (it *Integral) Mean(r geom.Rect) float64 {
 func ColorDiffPlane(m, n *Image) []float64 {
 	out := make([]float64, m.W*m.H)
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
+		row := out[y*m.W : y*m.W+m.W]
+		for x := range row {
 			a := m.At(x, y)
 			b := n.At(x, y)
 			d := absDiff8(a.R, b.R)
@@ -149,7 +211,7 @@ func ColorDiffPlane(m, n *Image) []float64 {
 			if bl := absDiff8(a.B, b.B); bl > d {
 				d = bl
 			}
-			out[y*m.W+x] = float64(d)
+			row[x] = float64(d)
 		}
 	}
 	return out
@@ -168,12 +230,13 @@ func absDiff8(a, b uint8) uint8 {
 func AbsDiffPlane(m, n *Image) []float64 {
 	out := make([]float64, m.W*m.H)
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
+		row := out[y*m.W : y*m.W+m.W]
+		for x := range row {
 			d := float64(m.At(x, y).Gray()) - float64(n.At(x, y).Gray())
 			if d < 0 {
 				d = -d
 			}
-			out[y*m.W+x] = d
+			row[x] = d
 		}
 	}
 	return out

@@ -52,10 +52,14 @@ func stride(frames []*img.Image, step int) ([]*img.Image, []int) {
 	if step < 1 {
 		step = 1
 	}
-	var samples []*img.Image
-	var indices []int
-	for k := 0; k < len(frames); k += step {
-		samples = append(samples, frames[k])
+	n := (len(frames) + step - 1) / step
+	samples := make([]*img.Image, 0, n)
+	indices := make([]int, 0, n)
+	for k, f := range frames {
+		if k%step != 0 {
+			continue
+		}
+		samples = append(samples, f)
 		indices = append(indices, k)
 	}
 	return samples, indices
@@ -75,16 +79,25 @@ func StaticBackgroundSamplesRT(w, h int, samples []*img.Image, indices []int, tr
 	rt.Span.Add(obs.CBGFramesSampled, int64(len(samples)))
 	// Per-pixel value collection (uint8 per channel) over unmasked frames.
 	vals := make([][]uint8, w*h*3)
-	for i, f := range samples {
+	ns := len(samples)
+	if len(indices) < ns {
+		ns = len(indices)
+	}
+	for i := 0; i < ns; i++ {
+		f := samples[i]
 		mask := FrameMask(w, h, indices[i], tracks)
 		for y := 0; y < h; y++ {
+			off := y * w * 3
+			vrow := vals[off : off+w*3]
+			prow := f.Pix[off : off+w*3]
 			for x := 0; x < w; x++ {
 				if mask.At(x, y) {
 					continue
 				}
-				base := (y*w + x) * 3
+				vp := vrow[x*3 : x*3+3]
+				pp := prow[x*3 : x*3+3]
 				for c := 0; c < 3; c++ {
-					vals[base+c] = append(vals[base+c], f.Pix[base+c])
+					vp[c] = append(vp[c], pp[c])
 				}
 			}
 		}
@@ -92,14 +105,16 @@ func StaticBackgroundSamplesRT(w, h int, samples []*img.Image, indices []int, tr
 	out := img.New(w, h)
 	hole := NewMask(w, h)
 	holes := 0
-	for i := 0; i < w*h; i++ {
-		if len(vals[i*3]) == 0 {
+	for i := range hole.Bits {
+		v3 := vals[i*3 : i*3+3]
+		if len(v3[0]) == 0 {
 			hole.Bits[i] = true
 			holes++
 			continue
 		}
+		p3 := out.Pix[i*3 : i*3+3]
 		for c := 0; c < 3; c++ {
-			out.Pix[i*3+c] = medianU8(vals[i*3+c])
+			p3[c] = medianU8(v3[c])
 		}
 	}
 	if holes > 0 {
@@ -142,13 +157,21 @@ func EstimatePan(v *vid.Video, maxShift int) ([]int, error) {
 		return nil, errors.New("inpaint: empty video")
 	}
 	profiles := make([][]float64, v.Len())
-	for k := 0; k < v.Len(); k++ {
+	for k := range profiles {
 		profiles[k] = ColumnProfile(v.Frame(k))
 	}
 	offsets := make([]int, v.Len())
-	for k := 1; k < v.Len(); k++ {
-		shift := BestShift(profiles[k-1], profiles[k], maxShift)
-		offsets[k] = offsets[k-1] + shift
+	n := len(profiles)
+	if len(offsets) < n {
+		n = len(offsets)
+	}
+	prev := profiles[0]
+	cum := 0
+	for k := 1; k < n; k++ {
+		p := profiles[k]
+		cum += BestShift(prev, p, maxShift)
+		offsets[k] = cum
+		prev = p
 	}
 	return offsets, nil
 }
@@ -159,8 +182,8 @@ func EstimatePan(v *vid.Video, maxShift int) ([]int, error) {
 // integrates the pairwise BestShift results exactly as EstimatePan does, so
 // the two paths produce identical offsets.
 func ColumnProfile(f *img.Image) []float64 {
-	out := make([]float64, f.W)
-	for x := 0; x < f.W; x++ {
+	out := make([]float64, f.W) //lint:allow hotalloc constructor: the profile is the product, retained by the caller
+	for x := range out {
 		var sum float64
 		for y := 0; y < f.H; y++ {
 			sum += float64(f.At(x, y).Gray())
@@ -256,19 +279,26 @@ func BuildMovingBackgroundSamplesRT(w, h int, offsets []int, samples []*img.Imag
 	rt.Span.Add(obs.CBGFramesSampled, int64(len(samples)))
 
 	vals := make([][]uint8, panW*h*3)
-	for i, f := range samples {
+	ns := len(samples)
+	if len(indices) < ns {
+		ns = len(indices)
+	}
+	for i := 0; i < ns; i++ {
+		f := samples[i]
 		k := indices[i]
 		mask := FrameMask(w, h, k, tracks)
-		off := offsets[k]
+		off := offsets[k] //lint:allow bce indices hold frame numbers < len(offsets) by construction; the relation is invisible to the interval domain
 		for y := 0; y < h; y++ {
+			vrow := vals[y*panW*3 : y*panW*3+panW*3]
+			prow := f.Pix[y*w*3 : y*w*3+w*3]
 			for x := 0; x < w; x++ {
 				if mask.At(x, y) {
 					continue
 				}
-				pi := (y*panW + x + off) * 3
-				fi := (y*w + x) * 3
+				vp := vrow[(x+off)*3 : (x+off)*3+3]
+				pp := prow[x*3 : x*3+3]
 				for c := 0; c < 3; c++ {
-					vals[pi+c] = append(vals[pi+c], f.Pix[fi+c])
+					vp[c] = append(vp[c], pp[c])
 				}
 			}
 		}
@@ -276,14 +306,16 @@ func BuildMovingBackgroundSamplesRT(w, h int, offsets []int, samples []*img.Imag
 	pano := img.New(panW, h)
 	hole := NewMask(panW, h)
 	holes := 0
-	for i := 0; i < panW*h; i++ {
-		if len(vals[i*3]) == 0 {
+	for i := range hole.Bits {
+		v3 := vals[i*3 : i*3+3]
+		if len(v3[0]) == 0 {
 			hole.Bits[i] = true
 			holes++
 			continue
 		}
+		p3 := pano.Pix[i*3 : i*3+3]
 		for c := 0; c < 3; c++ {
-			pano.Pix[i*3+c] = medianU8(vals[i*3+c])
+			p3[c] = medianU8(v3[c])
 		}
 	}
 	if holes > 0 && holes < panW*h {
@@ -348,7 +380,7 @@ func ExtractScenesRT(v *vid.Video, tracks *motio.TrackSet, step int, cfg Config,
 // order; exported for diagnostics and tests.
 func (mb *MovingBackground) SortedOffsets() []int {
 	seen := map[int]bool{}
-	var out []int
+	out := make([]int, 0, len(mb.Offsets))
 	for _, o := range mb.Offsets {
 		if !seen[o] {
 			seen[o] = true

@@ -24,7 +24,7 @@ type Mask struct {
 
 // NewMask returns an all-false mask.
 func NewMask(w, h int) *Mask {
-	return &Mask{W: w, H: h, Bits: make([]bool, w*h)}
+	return &Mask{W: w, H: h, Bits: make([]bool, w*h)} //lint:allow hotalloc constructor: the mask is the product, not per-iteration scratch
 }
 
 // At reports the mask at (x, y); out-of-bounds is false.
@@ -47,8 +47,9 @@ func (m *Mask) Set(x, y int, v bool) {
 func (m *Mask) SetRect(r geom.Rect, v bool) {
 	r = r.Clip(geom.R(0, 0, m.W, m.H))
 	for y := r.Min.Y; y < r.Max.Y; y++ {
-		for x := r.Min.X; x < r.Max.X; x++ {
-			m.Bits[y*m.W+x] = v
+		row := m.Bits[y*m.W+r.Min.X : y*m.W+r.Max.X]
+		for x := range row {
+			row[x] = v
 		}
 	}
 }
@@ -79,8 +80,9 @@ func (m *Mask) Dilate(radius int) *Mask {
 	}
 	out := NewMask(m.W, m.H)
 	for y := 0; y < m.H; y++ {
-		for x := 0; x < m.W; x++ {
-			if !m.Bits[y*m.W+x] {
+		row := m.Bits[y*m.W : y*m.W+m.W]
+		for x := range row {
+			if !row[x] {
 				continue
 			}
 			for dy := -radius; dy <= radius; dy++ {
@@ -151,7 +153,7 @@ func InpaintRT(src *img.Image, mask *Mask, cfg Config, rt obs.Runtime) (*img.Ima
 	w, h := src.W, src.H
 
 	// Confidence: 1 for known pixels, 0 for unknown.
-	conf := make([]float64, w*h)
+	conf := make([]float64, len(work.Bits))
 	for i, masked := range work.Bits {
 		if !masked {
 			conf[i] = 1
@@ -232,16 +234,19 @@ func onFront(work *Mask, x, y int) bool {
 
 // patchConfidence averages confidence over the patch.
 func patchConfidence(conf []float64, work *Mask, cx, cy, half, w, h int) float64 {
+	x0, x1 := max(0, cx-half), min(w-1, cx+half)
+	y0, y1 := max(0, cy-half), min(h-1, cy+half)
+	if x0 > x1 || y0 > y1 {
+		return 0
+	}
 	var sum float64
 	n := 0
-	for y := cy - half; y <= cy+half; y++ {
-		for x := cx - half; x <= cx+half; x++ {
-			if x < 0 || y < 0 || x >= w || y >= h {
-				continue
-			}
-			sum += conf[y*w+x]
-			n++
+	for y := y0; y <= y1; y++ {
+		row := conf[y*w+x0 : y*w+x1+1]
+		for x := range row {
+			sum += row[x]
 		}
+		n += len(row)
 	}
 	if n == 0 {
 		return 0
@@ -265,14 +270,26 @@ func dataTerm(gx, gy []float64, work *Mask, x, y, w, h int) float64 {
 	// Strongest isophote among known neighbours.
 	var bestIx, bestIy, bestMag float64
 	for dy := -1; dy <= 1; dy++ {
+		qy := y + dy
+		if qy < 0 || qy >= h {
+			continue
+		}
+		gxRow := gx[qy*w : qy*w+w]
+		gyRow := gy[qy*w : qy*w+w]
 		for dx := -1; dx <= 1; dx++ {
-			qx, qy := x+dx, y+dy
-			if qx < 0 || qy < 0 || qx >= w || qy >= h || work.At(qx, qy) {
+			qx := x + dx
+			// One range guard per slice lets the compiler drop both checks.
+			if qx < 0 || qx >= len(gxRow) {
 				continue
 			}
-			i := qy*w + qx
+			if qx < 0 || qx >= len(gyRow) {
+				continue
+			}
+			if work.At(qx, qy) {
+				continue
+			}
 			// Isophote = gradient rotated 90°.
-			ix, iy := -gy[i], gx[i]
+			ix, iy := -gyRow[qx], gxRow[qx]
 			mag := math.Hypot(ix, iy)
 			if mag > bestMag {
 				bestIx, bestIy, bestMag = ix, iy, mag
@@ -304,7 +321,7 @@ func findSource(out *img.Image, work *Mask, target geom.Rect, radius int, pool *
 	y0 := geom.Clamp(cy-radius, 0, h-th)
 	y1 := geom.Clamp(cy+radius, 0, h-th)
 
-	skip := func(dx, dy int) bool {
+	skip := func(dx, dy int) bool { //lint:allow hotescape one environment per search call, amortized over the whole row scan it parameterizes
 		return work.At(target.Min.X+dx, target.Min.Y+dy)
 	}
 
@@ -362,14 +379,16 @@ func patchFullyKnown(work *Mask, x, y, w, h int) bool {
 // the bookkeeping.
 func copyPatch(out *img.Image, work *Mask, conf []float64, target, src geom.Rect, cHere float64, remaining *int) {
 	for dy := 0; dy < target.Dy(); dy++ {
-		for dx := 0; dx < target.Dx(); dx++ {
-			tx, ty := target.Min.X+dx, target.Min.Y+dy
+		ty := target.Min.Y + dy
+		crow := conf[ty*out.W+target.Min.X : ty*out.W+target.Max.X]
+		for dx := range crow {
+			tx := target.Min.X + dx
 			if !work.At(tx, ty) {
 				continue
 			}
 			out.Set(tx, ty, out.At(src.Min.X+dx, src.Min.Y+dy))
 			work.Set(tx, ty, false)
-			conf[ty*out.W+tx] = cHere
+			crow[dx] = cHere
 			*remaining--
 		}
 	}
@@ -379,14 +398,16 @@ func copyPatch(out *img.Image, work *Mask, conf []float64, target, src geom.Rect
 // known neighbours — the guaranteed-progress fallback.
 func fillWithNeighbourMean(out *img.Image, work *Mask, conf []float64, target geom.Rect, cHere float64, remaining *int) {
 	for dy := 0; dy < target.Dy(); dy++ {
-		for dx := 0; dx < target.Dx(); dx++ {
-			tx, ty := target.Min.X+dx, target.Min.Y+dy
+		ty := target.Min.Y + dy
+		crow := conf[ty*out.W+target.Min.X : ty*out.W+target.Max.X]
+		for dx := range crow {
+			tx := target.Min.X + dx
 			if !work.At(tx, ty) || !onFront(work, tx, ty) {
 				continue
 			}
 			out.Set(tx, ty, neighbourMean(out, work, tx, ty))
 			work.Set(tx, ty, false)
-			conf[ty*out.W+tx] = cHere * 0.5
+			crow[dx] = cHere * 0.5
 			*remaining--
 		}
 	}

@@ -33,7 +33,7 @@ func ExtractWithBoundary(v *vid.Video, cfg BoundaryConfig) (*Result, error) {
 		cfg.Threshold = 12
 	}
 
-	var segments []Segment
+	segments := make([]Segment, 0, v.Len())
 	start := 0
 	segLen := 1
 	for k := 1; k < v.Len(); k++ {

@@ -1,0 +1,42 @@
+package keyframe
+
+// Bit-identity check for the finishSegment range rewrite: the reference
+// keeps the original indexed loop over [start+1, end].
+
+import (
+	"testing"
+
+	"verro/internal/img"
+)
+
+func finishSegmentRef(start, end int, hists []*img.HSVHist, cfg Config) Segment {
+	best := start
+	bestEntropy := hists[start].Entropy(cfg.Alpha, cfg.Beta, cfg.Gamma)
+	for k := start + 1; k <= end; k++ {
+		e := hists[k].Entropy(cfg.Alpha, cfg.Beta, cfg.Gamma)
+		if e > bestEntropy {
+			best, bestEntropy = k, e
+		}
+	}
+	return Segment{Start: start, End: end, KeyFrame: best}
+}
+
+func TestFinishSegmentEquiv(t *testing.T) {
+	cfg := DefaultConfig()
+	hists := make([]*img.HSVHist, 12)
+	for k := range hists {
+		m := img.New(16, 12)
+		m.VerticalGradient(img.RGB{R: uint8(k * 17), G: 90, B: 40}, img.RGB{R: 10, G: uint8(255 - k*9), B: 200})
+		m.AddNoise(10, uint64(k))
+		hists[k] = img.NewHSVHist(m, cfg.HBins, cfg.SBins, cfg.VBins)
+	}
+	for start := 0; start < len(hists); start++ {
+		for end := start; end < len(hists); end++ {
+			got := finishSegment(start, end, hists, cfg)
+			want := finishSegmentRef(start, end, hists, cfg)
+			if got != want {
+				t.Fatalf("finishSegment(%d,%d): got %+v want %+v", start, end, got, want)
+			}
+		}
+	}
+}

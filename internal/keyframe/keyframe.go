@@ -122,8 +122,9 @@ func SegmentHistsRT(hists []*img.HSVHist, cfg Config, rt obs.Runtime) (*Result, 
 		return nil, ErrEmptyVideo
 	}
 	// Greedy segmentation (lines 3-16). The segment is represented by the
-	// running mean histogram of its members.
-	var segments []Segment
+	// running mean histogram of its members. There is at most one segment
+	// per histogram, so reserving that many avoids regrowth entirely.
+	segments := make([]Segment, 0, len(hists))
 	segStart := 0
 	segHist := cloneHist(hists[0])
 	segLen := 1
@@ -157,17 +158,17 @@ func SegmentHistsRT(hists []*img.HSVHist, cfg Config, rt obs.Runtime) (*Result, 
 func finishSegment(start, end int, hists []*img.HSVHist, cfg Config) Segment {
 	best := start
 	bestEntropy := hists[start].Entropy(cfg.Alpha, cfg.Beta, cfg.Gamma)
-	for k := start + 1; k <= end; k++ {
-		e := hists[k].Entropy(cfg.Alpha, cfg.Beta, cfg.Gamma)
+	for i, h := range hists[start+1 : end+1] {
+		e := h.Entropy(cfg.Alpha, cfg.Beta, cfg.Gamma)
 		if e > bestEntropy {
-			best, bestEntropy = k, e
+			best, bestEntropy = start+1+i, e
 		}
 	}
 	return Segment{Start: start, End: end, KeyFrame: best}
 }
 
 func cloneHist(h *img.HSVHist) *img.HSVHist {
-	out := &img.HSVHist{
+	out := &img.HSVHist{ //lint:allow hotalloc constructor: one clone per segment start, and the clone is the segment's state
 		H: append([]float64(nil), h.H...),
 		S: append([]float64(nil), h.S...),
 		V: append([]float64(nil), h.V...),

@@ -113,7 +113,7 @@ func Run(pkgs []*lint.Package, analyzers ...*Analyzer) []lint.Diagnostic {
 
 	allow := map[*lint.Package]*lint.AllowIndex{}
 	for _, pkg := range pkgs {
-		allow[pkg] = lint.BuildAllowIndex(pkg.Fset, pkg.Files)
+		allow[pkg] = pkg.Allow()
 	}
 	var diags []lint.Diagnostic
 	reps := make([]*reporter, len(analyzers))
@@ -152,7 +152,7 @@ func AnalyzePackage(pkg *lint.Package, analyzers []*Analyzer, deps map[string][]
 	eng := &engine{prog: prog, sums: map[string][]Interval{}, base: deps}
 	eng.computeSummaries()
 
-	allow := map[*lint.Package]*lint.AllowIndex{pkg: lint.BuildAllowIndex(pkg.Fset, pkg.Files)}
+	allow := map[*lint.Package]*lint.AllowIndex{pkg: pkg.Allow()}
 	var diags []lint.Diagnostic
 	reps := make([]*reporter, len(analyzers))
 	for i, a := range analyzers {

@@ -1,0 +1,58 @@
+package absint
+
+import (
+	"go/token"
+	"math"
+
+	"verro/internal/lint"
+)
+
+// NewBCE builds the bce analyzer: every indexing site inside a hot loop
+// must be provably bounds-check-eliminable. The division of labor is the
+// inverse of idxbound's: idxbound reports evidence that an index CAN
+// escape [0, len); bce reports the ABSENCE of a proof that it cannot —
+// the compiler will then keep an IsInBounds check in the hottest code in
+// the repository.
+//
+// site classifies positions (the index operand's Pos, where the
+// interpreter fires the index hook): hot selects sites inside hot loops
+// (computed by internal/lint/perf, which owns the hot-set policy — the
+// callback indirection exists because perf imports this package for the
+// engine); proven means a syntactic dominating-check argument already
+// shows the compiler eliminates the check (range loops over the same
+// slice, counter loops bounded by its len). Unproven sites get one more
+// chance from the interval facts — a constant-length container with a
+// provably in-range index is exactly what the compiler also sees — and
+// are reported otherwise, with the rewrite idioms the prover recognizes.
+//
+// Soundness gate: a reported site must be one where the compiler really
+// keeps the check. perf/groundtruth_test.go asserts reported positions
+// are a subset of `go build -gcflags=-d=ssa/check_bce` output for the
+// kernel packages.
+func NewBCE(site func(pkg *lint.Package, pos token.Pos) (hot, proven bool)) *Analyzer {
+	a := &Analyzer{
+		Name: "bce",
+		Doc:  "hot-loop indexing must be provably bounds-check-eliminable",
+	}
+	a.hooks = func(rc *reportCtx) hookFns {
+		return hookFns{
+			index: func(pos token.Pos, idx, length Interval) {
+				hot, proven := site(rc.pkg, pos)
+				if !hot || proven {
+					return
+				}
+				// Value proof: the index interval fits below every
+				// possible length. Exact for constant-length arrays and
+				// locally-made slices — the same facts the compiler's
+				// prove pass derives, so staying silent here never hides
+				// a kept check... and the reverse direction (compiler
+				// proves, we cannot) is exactly what reports.
+				if idx.Lo >= 0 && !math.IsInf(length.Lo, -1) && idx.Hi < length.Lo {
+					return
+				}
+				rc.reportf(pos, "bounds check in hot loop is not provably eliminable (index %s, len %s); iterate the indexed slice directly (for i := range s / i < len(s)) or hoist a bound assertion (_ = s[n-1]) before the loop", idx, length)
+			},
+		}
+	}
+	return a
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"strings"
@@ -31,14 +32,30 @@ type allowKey struct {
 // (file, line, analyzer) cell a //lint:allow directive covers. It is
 // exported so analysis drivers outside this package (the flow engine, which
 // reports across package boundaries) honor the same directives.
+//
+// The index also records which cells actually suppressed a diagnostic
+// (Allows marks its hits), so after every suite has run, StaleAllows can
+// report directives that no longer excuse anything. It is not
+// concurrency-safe; drivers query one package's index from one goroutine
+// at a time, which every current driver satisfies.
 type AllowIndex struct {
 	cells map[allowKey]bool
+	hits  map[allowKey]bool
+	// directives inventories every parsed allow directive in source order,
+	// one record per (directive comment, analyzer name) pair.
+	directives []allowDirective
+}
+
+// allowDirective is one //lint:allow comment's claim for one analyzer.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
 }
 
 // BuildAllowIndex scans every comment in the files and materializes the
 // suppressed (file, line, analyzer) set.
 func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
-	idx := &AllowIndex{cells: map[allowKey]bool{}}
+	idx := &AllowIndex{cells: map[allowKey]bool{}, hits: map[allowKey]bool{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -50,6 +67,7 @@ func BuildAllowIndex(fset *token.FileSet, files []*ast.File) *AllowIndex {
 				for _, name := range names {
 					idx.cells[allowKey{pos.Filename, pos.Line, name}] = true
 					idx.cells[allowKey{pos.Filename, pos.Line + 1, name}] = true
+					idx.directives = append(idx.directives, allowDirective{pos: pos, analyzer: name})
 				}
 			}
 		}
@@ -83,10 +101,51 @@ func parseAllow(text string) []string {
 }
 
 // Allows reports whether the directive set suppresses the analyzer at the
-// position's line. A nil index allows nothing.
+// position's line, recording the hit so StaleAllows can tell which
+// directives still earn their keep. A nil index allows nothing.
 func (idx *AllowIndex) Allows(analyzer string, pos token.Position) bool {
 	if idx == nil {
 		return false
 	}
-	return idx.cells[allowKey{pos.Filename, pos.Line, analyzer}]
+	key := allowKey{pos.Filename, pos.Line, analyzer}
+	if !idx.cells[key] {
+		return false
+	}
+	idx.hits[key] = true
+	return true
+}
+
+// StaleAllowsName is the analyzer name stale-directive diagnostics carry —
+// and the name that suppresses them, so a deliberately speculative allow
+// can itself be excused.
+const StaleAllowsName = "staleallow"
+
+// StaleAllows reports every allow directive naming an analyzer in ran that
+// never suppressed a diagnostic during this index's lifetime. Call it only
+// after every suite in ran has finished reporting; directives for analyzers
+// outside ran are skipped, so a subset run (say, flow-only) cannot declare
+// a classic analyzer's allow stale. The returned diagnostics are unsorted.
+func (idx *AllowIndex) StaleAllows(ran map[string]bool) []Diagnostic {
+	if idx == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, d := range idx.directives {
+		if !ran[d.analyzer] {
+			continue
+		}
+		if idx.hits[allowKey{d.pos.Filename, d.pos.Line, d.analyzer}] ||
+			idx.hits[allowKey{d.pos.Filename, d.pos.Line + 1, d.analyzer}] {
+			continue
+		}
+		if idx.Allows(StaleAllowsName, d.pos) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: StaleAllowsName,
+			Message:  fmt.Sprintf("//lint:allow %s no longer suppresses any diagnostic; remove the directive", d.analyzer),
+		})
+	}
+	return diags
 }

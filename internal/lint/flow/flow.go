@@ -128,7 +128,7 @@ func Run(pkgs []*lint.Package, analyzers ...*Analyzer) []lint.Diagnostic {
 	prog := NewProgram(pkgs)
 	allow := map[*lint.Package]*lint.AllowIndex{}
 	for _, pkg := range pkgs {
-		allow[pkg] = lint.BuildAllowIndex(pkg.Fset, pkg.Files)
+		allow[pkg] = pkg.Allow()
 	}
 	var diags []lint.Diagnostic
 	for _, a := range analyzers {

@@ -92,7 +92,7 @@ func (s *Summary) internal() *summary {
 // analyzers (nil cfg) exchange no summaries and return an empty map.
 func (a *Analyzer) AnalyzePackage(pkg *lint.Package, deps map[string]*Summary) (map[string]*Summary, []lint.Diagnostic) {
 	prog := NewProgram([]*lint.Package{pkg})
-	allow := map[*lint.Package]*lint.AllowIndex{pkg: lint.BuildAllowIndex(pkg.Fset, pkg.Files)}
+	allow := map[*lint.Package]*lint.AllowIndex{pkg: pkg.Allow()}
 	rep := &reporter{analyzer: a.Name, allow: allow, seen: map[string]bool{}}
 	own := map[string]*Summary{}
 	if a.cfg == nil {

@@ -42,6 +42,7 @@ import (
 	"verro/internal/lint"
 	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
+	"verro/internal/lint/perf"
 	"verro/internal/par"
 )
 
@@ -70,6 +71,15 @@ type Options struct {
 	Classic []*lint.Analyzer
 	Flow    []*flow.Analyzer
 	Absint  []*absint.Analyzer
+	// Perf runs per package against PerfCfg's hot-set policy (the bce
+	// analyzer rides Absint — the driver appends it there).
+	Perf    []*perf.Analyzer
+	PerfCfg *perf.Config
+	// StaleAllows, when true, reports //lint:allow directives that no
+	// suite in this run used, after every suite has reported. The
+	// effective analyzer set is part of the version hash, so cached
+	// stale-allow diagnostics can never outlive a suite change.
+	StaleAllows bool
 }
 
 // Stats reports what one run did.
@@ -289,15 +299,15 @@ func Run(opts Options) ([]lint.Diagnostic, Stats, error) {
 // analyzeNode runs every requested suite over one freshly loaded package
 // against its dependency closure's summaries, producing its cache entry.
 func analyzeNode(n *node, opts Options, version string) *entry {
-	e := &entry{Version: version, Path: n.path}
+	e := &entry{Version: version, Path: n.path} //lint:allow hotalloc per-package task: one entry per package analysis, amortized over its whole AST
 	var diags []lint.Diagnostic
 	if len(opts.Classic) > 0 {
-		diags = append(diags, lint.Run(n.pkg, opts.Classic...)...)
+		diags = append(diags, lint.Run(n.pkg, opts.Classic...)...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package, not per AST node
 	}
 	if len(opts.Flow) > 0 {
-		e.Flow = map[string]map[string]*flow.Summary{}
+		e.Flow = map[string]map[string]*flow.Summary{} //lint:allow hotalloc per-package task: one summary map per package analysis
 		for _, a := range opts.Flow {
-			deps := map[string]*flow.Summary{}
+			deps := map[string]*flow.Summary{} //lint:allow hotalloc per-package task: one dependency map per analyzer per package
 			for _, m := range n.closure {
 				for name, s := range m.entry.Flow[a.Name] {
 					deps[name] = s
@@ -305,11 +315,11 @@ func analyzeNode(n *node, opts Options, version string) *entry {
 			}
 			sums, ds := a.AnalyzePackage(n.pkg, deps)
 			e.Flow[a.Name] = sums
-			diags = append(diags, ds...)
+			diags = append(diags, ds...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
 		}
 	}
 	if len(opts.Absint) > 0 {
-		deps := map[string][]absint.Interval{}
+		deps := map[string][]absint.Interval{} //lint:allow hotalloc per-package task: one dependency map per package analysis
 		for _, m := range n.closure {
 			for name, ivs := range m.entry.Absint {
 				deps[name] = decodeIntervals(ivs)
@@ -317,7 +327,13 @@ func analyzeNode(n *node, opts Options, version string) *entry {
 		}
 		sums, ds := absint.AnalyzePackage(n.pkg, opts.Absint, deps)
 		e.Absint = encodeIntervals(sums)
-		diags = append(diags, ds...)
+		diags = append(diags, ds...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
+	}
+	if len(opts.Perf) > 0 {
+		diags = append(diags, perf.AnalyzePackage(n.pkg, opts.PerfCfg, opts.Perf)...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
+	}
+	if opts.StaleAllows {
+		diags = append(diags, n.pkg.Allow().StaleAllows(ranNames(opts, n.pkg.Path))...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
 	}
 	lint.Sort(diags)
 	for _, d := range diags {
@@ -332,10 +348,34 @@ func analyzeNode(n *node, opts Options, version string) *entry {
 	return e
 }
 
+// ranNames is the set of analyzer names that actually ran against one
+// package — the universe StaleAllows judges its directives against, so a
+// subset run cannot declare another suite's allow stale, and a
+// Match-restricted interval analyzer cannot stale-flag allows in packages
+// it never looked at.
+func ranNames(opts Options, pkgPath string) map[string]bool {
+	ran := map[string]bool{} //lint:allow hotalloc per-package task: one set per package, amortized over the analyzer list
+	for _, a := range opts.Classic {
+		ran[a.Name] = true
+	}
+	for _, a := range opts.Flow {
+		ran[a.Name] = true
+	}
+	for _, a := range opts.Absint {
+		if a.Match == nil || a.Match(pkgPath) {
+			ran[a.Name] = true
+		}
+	}
+	for _, a := range opts.Perf {
+		ran[a.Name] = true
+	}
+	return ran
+}
+
 func encodeIntervals(sums map[string][]absint.Interval) map[string][]ivRec {
-	out := make(map[string][]ivRec, len(sums))
+	out := make(map[string][]ivRec, len(sums)) //lint:allow hotalloc per-package task: one encoded map per package analysis
 	for name, ivs := range sums {
-		recs := make([]ivRec, len(ivs))
+		recs := make([]ivRec, len(ivs)) //lint:allow hotalloc per-package task: one record slice per summarized function
 		for i, iv := range ivs {
 			recs[i] = ivRec{
 				Lo: strconv.FormatFloat(iv.Lo, 'g', -1, 64),
@@ -348,7 +388,7 @@ func encodeIntervals(sums map[string][]absint.Interval) map[string][]ivRec {
 }
 
 func decodeIntervals(recs []ivRec) []absint.Interval {
-	ivs := make([]absint.Interval, len(recs))
+	ivs := make([]absint.Interval, len(recs)) //lint:allow hotalloc per-package task: one interval slice per summarized function
 	for i, r := range recs {
 		lo, _ := strconv.ParseFloat(r.Lo, 64)
 		hi, _ := strconv.ParseFloat(r.Hi, 64)
@@ -366,7 +406,7 @@ func scanDir(dir string, includeTests bool) ([]fileHash, []string, error) {
 		return nil, nil, err
 	}
 	var files []fileHash
-	importSet := map[string]bool{}
+	importSet := map[string]bool{} //lint:allow hotalloc per-directory task: one import set per package scan
 	fset := token.NewFileSet()
 	for _, e := range entries {
 		name := e.Name()
@@ -382,23 +422,23 @@ func scanDir(dir string, includeTests bool) ([]fileHash, []string, error) {
 		}
 		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
 		if err != nil {
-			return nil, nil, fmt.Errorf("incr: %s: %w", filepath.Join(dir, name), err)
+			return nil, nil, fmt.Errorf("incr: %s: %w", filepath.Join(dir, name), err) //lint:allow hotalloc error path: formats once on the way out, never on the scan fast path
 		}
 		if strings.HasSuffix(f.Name.Name, "_test") {
 			// Black-box test package: the Loader never analyzes it.
 			continue
 		}
 		sum := sha256.Sum256(data)
-		files = append(files, fileHash{name: name, sum: hex.EncodeToString(sum[:])})
+		files = append(files, fileHash{name: name, sum: hex.EncodeToString(sum[:])}) //lint:allow hotalloc per-directory task: the hash list is the scan product
 		for _, imp := range f.Imports {
 			importSet[strings.Trim(imp.Path.Value, `"`)] = true
 		}
 	}
 	if len(files) == 0 {
-		return nil, nil, fmt.Errorf("incr: no Go files in %s", dir)
+		return nil, nil, fmt.Errorf("incr: no Go files in %s", dir) //lint:allow hotalloc error path: formats once on the way out
 	}
-	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name })
-	imports := make([]string, 0, len(importSet))
+	sort.Slice(files, func(i, j int) bool { return files[i].name < files[j].name }) //lint:allow hotescape per-directory task: one comparator per scan, amortized over the file list
+	imports := make([]string, 0, len(importSet))                                    //lint:allow hotalloc per-directory task: the import list is the scan product
 	for imp := range importSet {
 		imports = append(imports, imp)
 	}
@@ -538,13 +578,13 @@ func analyzedClosure(n *node) []*node {
 }
 
 // versionHash fingerprints everything that changes analysis output besides
-// package content: the facts schema, the toolchain, the test-file switch,
+// / package content: the facts schema, the toolchain, the test-file switch,
 // the suite composition, and — the self-invalidation clause — the analyzer
 // implementation's own source, hashed from the lint/driver directories
 // when the module layout exposes them.
 func versionHash(opts Options, modRoot string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|tests=%v\n", FactsVersion, runtime.Version(), opts.IncludeTests)
+	fmt.Fprintf(h, "%s|%s|tests=%v|stale=%v\n", FactsVersion, runtime.Version(), opts.IncludeTests, opts.StaleAllows)
 	for _, a := range opts.Classic {
 		fmt.Fprintf(h, "classic:%s:%s\n", a.Name, a.Doc)
 	}
@@ -554,12 +594,16 @@ func versionHash(opts Options, modRoot string) string {
 	for _, a := range opts.Absint {
 		fmt.Fprintf(h, "absint:%s:%s\n", a.Name, a.Doc)
 	}
+	for _, a := range opts.Perf {
+		fmt.Fprintf(h, "perf:%s:%s\n", a.Name, a.Doc)
+	}
 	if modRoot != "" {
 		for _, rel := range []string{
 			"internal/lint",
 			"internal/lint/absint",
 			"internal/lint/flow",
 			"internal/lint/incr",
+			"internal/lint/perf",
 			"cmd/verrolint",
 		} {
 			files, _, err := scanDir(filepath.Join(modRoot, filepath.FromSlash(rel)), false)

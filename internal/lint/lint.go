@@ -119,7 +119,7 @@ func (p *Pass) CalleeOf(call *ast.CallExpr) (pkgPath, name string, ok bool) {
 // path are skipped.
 func Run(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	allow := BuildAllowIndex(pkg.Fset, pkg.Files)
+	allow := pkg.Allow()
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(pkg.Path) {
 			continue

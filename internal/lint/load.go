@@ -24,6 +24,20 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	allow *AllowIndex
+}
+
+// Allow returns the package's //lint:allow index, built on first use and
+// shared by every suite that analyzes the package — sharing is what lets
+// suppression hits accumulate across suites so StaleAllows sees the whole
+// run. Not concurrency-safe; drivers analyze one package from one
+// goroutine at a time.
+func (p *Package) Allow() *AllowIndex {
+	if p.allow == nil {
+		p.allow = BuildAllowIndex(p.Fset, p.Files)
+	}
+	return p.allow
 }
 
 // Loader parses and type-checks package directories. It shares one FileSet

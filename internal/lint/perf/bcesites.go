@@ -1,0 +1,812 @@
+package perf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"verro/internal/lint"
+)
+
+// IndexSites classifies every index expression syntactically inside a
+// loop of one package's hot regions: the returned map is keyed by the
+// index operand's position (exactly where absint's index hook fires) and
+// records whether the syntactic prover shows the compiler's prove pass
+// eliminates the bounds check. The bce analyzer reports hot sites that
+// are neither syntactically proven here nor value-proven by the interval
+// engine.
+//
+// The prover mirrors the dominating-check shapes the compiler's prove
+// pass was observed to handle (each rule below was validated against
+// `-gcflags=-d=ssa/check_bce` output; shapes the compiler keeps — offset
+// indices like s[i+1], step>1 counters, i+c conditions — are
+// deliberately NOT proven here even when a human could argue them):
+//
+//   - range rule: s[i] where i is the key of an enclosing `for i := range s`
+//     over the same expression, with neither i nor s written in the body;
+//   - counter rule: s[i] under `for i := c0; i < len(s)[-c] ; i++` (or
+//     `i <= len(s)-c`, c ≥ 1) with c0 a nonnegative constant, step exactly
+//     one, and neither i nor s written in the body;
+//   - assert rule: s[i] under `for i := c0; i < n; i++` where a
+//     `_ = s[n-1]` statement precedes the loop in the same region, with
+//     none of i, s, n written in the body — the hoisted bound assertion
+//     the analyzer's message recommends;
+//   - clamp rule: like the assert rule, but n's bound on len(s) comes from
+//     the min-clamp prologue `n := len(s)` / `if len(s) < n { n = len(s) }`;
+//   - mirror rule: out[i] under `for i := range v` where the region defined
+//     `out := make([]T, len(v))`;
+//   - repeat rule: an index expression with identical source text appears
+//     earlier in the same loop body, so its check dominates this one;
+//   - guard rule: `if i < 0 || i >= len(s) { continue }` earlier in the
+//     loop body dominates s[i];
+//   - subslice rule: p[k] (constant k) or p[c] under `for c := 0; c < K; c++`
+//     where the region defined `p := s[e : e+n]` with constant n and k < n,
+//     K ≤ n — the hoisted channel-triple idiom.
+//
+// Everything else — compound row-major addressing, cross-slice bounds,
+// data-dependent indices — is left unproven: exactly the sites where the
+// compiler emits IsInBounds and the kernel should be rewritten to a
+// provable stride (the gate test in groundtruth_test.go checks the
+// "unproven ⊆ compiler-checked" inclusion against -d=ssa/check_bce).
+func IndexSites(pkg *lint.Package, cfg *Config) map[token.Pos]bool {
+	hs := buildHotSet(pkg, cfg)
+	sites := map[token.Pos]bool{}
+	for _, r := range hs.regions {
+		// facts accumulates the region's bound knowledge in source order;
+		// by the time a loop body is scanned, every fact established
+		// textually above it is recorded.
+		facts := newRegionFacts()
+		s := &scanner{hs: hs, r: r}
+		s.visit = func(n ast.Node, loops []ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				facts.record(pkg, as)
+			}
+			ie, ok := n.(*ast.IndexExpr)
+			if !ok || len(loops) == 0 {
+				return true
+			}
+			// Generic instantiations parse as index expressions; the hook
+			// never fires for them, so spurious entries are harmless, but
+			// skip them anyway to keep the map honest.
+			if tv, ok := pkg.Info.Types[ie.X]; ok {
+				if _, isSig := tv.Type.Underlying().(*types.Signature); isSig {
+					return true
+				}
+			}
+			sites[ie.Index.Pos()] = provenEliminable(pkg, ie, loops, facts)
+			return true
+		}
+		s.scan()
+	}
+	return sites
+}
+
+// assertFact is one hoisted bound assertion: `_ = base[bound-1]`.
+type assertFact struct {
+	baseStr  string
+	boundStr string
+}
+
+// regionFacts is the bound knowledge one region's straight-line prefix
+// establishes. All three fact kinds may be recorded from positions that
+// do not strictly dominate the loop that uses them (inside an if arm,
+// say); that over-proves and therefore silences — which never breaks the
+// ground-truth gate, whose only failure mode is reporting a check the
+// compiler eliminates.
+type regionFacts struct {
+	// asserts are `_ = s[n-1]` statements: len(s) ≥ n afterwards.
+	asserts []assertFact
+	// bounded maps a variable to the slices it is clamped under:
+	// `n := len(a)` then `if len(b) < n { n = len(b) }` records n ≤ len(a)
+	// and n ≤ len(b) — the min-clamp prologue the similarity kernels use.
+	bounded map[types.Object]map[string]bool
+	// mirror maps a slice to the expression whose length it was made
+	// with: `out := make([]T, len(v))` records len(out) == len(v), which
+	// lets `for i := range v` prove out[i].
+	mirror map[types.Object]string
+	// sliceLen maps a variable to its known constant length:
+	// `p := s[e : e+3]` records len(p) == 3, which proves p[0] and
+	// `for c := 0; c < 3; c++ { p[c] }` — the hoisted channel-triple
+	// idiom of the pixel kernels. The defining statement is kept so the
+	// writes check can exempt it (the definition usually sits inside the
+	// loop it serves).
+	sliceLen map[types.Object]sliceLenFact
+}
+
+// sliceLenFact is one fixed-length subslice definition.
+type sliceLenFact struct {
+	n   int64
+	def ast.Node
+}
+
+func newRegionFacts() *regionFacts {
+	return &regionFacts{
+		bounded:  map[types.Object]map[string]bool{},
+		mirror:   map[types.Object]string{},
+		sliceLen: map[types.Object]sliceLenFact{},
+	}
+}
+
+// record digests one assignment into facts: hoisted assertions, len
+// clamps, and make-mirrored slices. A non-len assignment to a tracked
+// variable drops its bounds.
+func (f *regionFacts) record(pkg *lint.Package, as *ast.AssignStmt) {
+	if af, ok := parseAssert(pkg, as); ok {
+		f.asserts = append(f.asserts, af)
+		return
+	}
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := identObj(pkg, id)
+	if obj == nil {
+		return
+	}
+	if bs, ok := lenArg(pkg, as.Rhs[0]); ok {
+		if as.Tok == token.DEFINE || f.bounded[obj] == nil {
+			f.bounded[obj] = map[string]bool{}
+		}
+		f.bounded[obj][bs] = true
+		return
+	}
+	delete(f.bounded, obj)
+	if as.Tok == token.DEFINE {
+		if vs, ok := makeLenArg(pkg, as.Rhs[0]); ok {
+			f.mirror[obj] = vs
+			return
+		}
+		if n, ok := subsliceLen(pkg, as.Rhs[0]); ok {
+			delete(f.mirror, obj)
+			f.sliceLen[obj] = sliceLenFact{n: n, def: as}
+			return
+		}
+	}
+	delete(f.mirror, obj)
+	delete(f.sliceLen, obj)
+}
+
+// subsliceLen matches a fixed-length slice expression — `s[e : e+c]`
+// (the offset matched textually) or `s[c1:c2]` with constant bounds — and
+// returns the resulting length.
+func subsliceLen(pkg *lint.Package, e ast.Expr) (int64, bool) {
+	se, ok := ast.Unparen(e).(*ast.SliceExpr)
+	if !ok || se.Low == nil || se.High == nil {
+		return 0, false
+	}
+	lo, hi := ast.Unparen(se.Low), ast.Unparen(se.High)
+	if cl, ok := constInt(pkg, lo); ok {
+		if ch, ok := constInt(pkg, hi); ok && ch >= cl {
+			return ch - cl, true
+		}
+	}
+	add, ok := hi.(*ast.BinaryExpr)
+	if !ok || add.Op != token.ADD {
+		return 0, false
+	}
+	loStr := types.ExprString(lo)
+	if types.ExprString(ast.Unparen(add.X)) == loStr {
+		if c, ok := constInt(pkg, add.Y); ok && c >= 0 {
+			return c, true
+		}
+	}
+	if types.ExprString(ast.Unparen(add.Y)) == loStr {
+		if c, ok := constInt(pkg, add.X); ok && c >= 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// parseAssert matches the hoisted-assertion statement `_ = s[n-1]`.
+func parseAssert(pkg *lint.Package, as *ast.AssignStmt) (assertFact, bool) {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return assertFact{}, false
+	}
+	if id, ok := as.Lhs[0].(*ast.Ident); !ok || id.Name != "_" {
+		return assertFact{}, false
+	}
+	ie, ok := ast.Unparen(as.Rhs[0]).(*ast.IndexExpr)
+	if !ok {
+		return assertFact{}, false
+	}
+	sub, ok := ast.Unparen(ie.Index).(*ast.BinaryExpr)
+	if !ok || sub.Op != token.SUB {
+		return assertFact{}, false
+	}
+	if c, ok := constInt(pkg, sub.Y); !ok || c != 1 {
+		return assertFact{}, false
+	}
+	return assertFact{
+		baseStr:  types.ExprString(ast.Unparen(ie.X)),
+		boundStr: types.ExprString(ast.Unparen(sub.X)),
+	}, true
+}
+
+// makeLenArg matches `make([]T, len(v), ...)` and returns v's string.
+func makeLenArg(pkg *lint.Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return "", false
+	}
+	return lenArg(pkg, call.Args[1])
+}
+
+// provenEliminable applies the prover's rules against every enclosing
+// loop, innermost outward. The index-based rules demand a bare
+// loop-variable index (k = 0): the compiler keeps the check for offset
+// indices like s[i+1] even under slack conditions, so proving them here
+// would report nothing but lie about the generated code.
+func provenEliminable(pkg *lint.Package, ie *ast.IndexExpr, loops []ast.Node, facts *regionFacts) bool {
+	base := ast.Unparen(ie.X)
+	baseStr := types.ExprString(base)
+	innerBody := loopBody(loops[len(loops)-1])
+	// Repeat rule: an identical index expression earlier in the same loop
+	// body already paid the check, and the compiler reuses its dominating
+	// bounds fact for this one. This is the only rule that tolerates a
+	// compound index (m.Pix[i+c] read then written back).
+	if innerBody != nil && repeatAccess(innerBody, ie) {
+		return true
+	}
+	// Subslice rule, constant index: p[k] where p is a known
+	// fixed-length subslice and k is below its length.
+	if f, ok := subsliceFact(pkg, base, facts); ok &&
+		!writesBaseOutside(pkg, loops, base, baseStr, f.def) {
+		if k, isConst := constInt(pkg, ie.Index); isConst && k >= 0 && k < f.n {
+			return true
+		}
+	}
+	idx, k := splitIndex(pkg, ie.Index)
+	if idx == nil || k != 0 {
+		return false
+	}
+	idxObj := pkg.Info.Uses[idx]
+	if idxObj == nil {
+		return false
+	}
+	// Guard rule: a preceding `if i < 0 || i >= len(base) { continue }`
+	// in the same loop body dominates the access.
+	if innerBody != nil && guardDominates(pkg, innerBody, ie, idxObj, baseStr) {
+		return true
+	}
+	for li := len(loops) - 1; li >= 0; li-- {
+		switch l := loops[li].(type) {
+		case *ast.RangeStmt:
+			key, ok := l.Key.(*ast.Ident)
+			if !ok || identObj(pkg, key) != idxObj {
+				continue
+			}
+			rangedStr := types.ExprString(ast.Unparen(l.X))
+			if rangedStr != baseStr {
+				// Mirror rule: base was made with length len(ranged), so
+				// the range key stays in bounds for it too.
+				bObj := rootIdentObj(pkg, base)
+				if bObj == nil || facts.mirror[bObj] != rangedStr {
+					continue
+				}
+			}
+			if writesIn(pkg, l.Body, idxObj, base, baseStr) {
+				continue
+			}
+			return true
+		case *ast.ForStmt:
+			if !nonnegInit(pkg, l.Init, idxObj) || !unitStep(pkg, l.Post, idxObj) {
+				continue
+			}
+			if writesIn(pkg, l.Body, idxObj, base, baseStr) {
+				continue
+			}
+			// Counter rule: the condition bounds i by len(base) itself.
+			if slack, condBase, condIdx := condSlack(pkg, l.Cond); condIdx != nil &&
+				identObj(pkg, condIdx) == idxObj && condBase == baseStr && slack >= 0 {
+				return true
+			}
+			if bound, condIdx := condBound(pkg, l.Cond); condIdx != nil &&
+				identObj(pkg, condIdx) == idxObj {
+				boundStr := types.ExprString(bound)
+				if writesBound(pkg, l.Body, boundStr) {
+					continue
+				}
+				// Assert rule: a hoisted `_ = base[bound-1]` ties the
+				// condition's bound to len(base).
+				for _, af := range facts.asserts {
+					if af.baseStr == baseStr && af.boundStr == boundStr {
+						return true
+					}
+				}
+				// Clamp rule: the bound is a variable clamped to
+				// min(len(base), ...) by the region's prologue.
+				if bid, ok := bound.(*ast.Ident); ok {
+					if bObj := identObj(pkg, bid); bObj != nil && facts.bounded[bObj][baseStr] {
+						return true
+					}
+				}
+				// Subslice rule, counter: the bound is a constant no
+				// larger than base's known fixed length.
+				if kBound, isConst := constInt(pkg, bound); isConst {
+					if f, ok := subsliceFact(pkg, base, facts); ok && kBound <= f.n &&
+						!writesBaseOutside(pkg, loops, base, baseStr, f.def) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// subsliceFact returns the fixed-length fact for a bare-identifier base.
+func subsliceFact(pkg *lint.Package, base ast.Expr, facts *regionFacts) (sliceLenFact, bool) {
+	bid, ok := base.(*ast.Ident)
+	if !ok {
+		return sliceLenFact{}, false
+	}
+	obj := identObj(pkg, bid)
+	if obj == nil {
+		return sliceLenFact{}, false
+	}
+	f, ok := facts.sliceLen[obj]
+	return f, ok
+}
+
+// writesBaseOutside reports whether any enclosing loop body writes base
+// (or takes its address) anywhere other than its defining statement —
+// re-slicing the subslice mid-loop would invalidate the length fact even
+// though the definition itself re-establishes it each iteration.
+func writesBaseOutside(pkg *lint.Package, loops []ast.Node, base ast.Expr, baseStr string, def ast.Node) bool {
+	baseObj := rootIdentObj(pkg, base)
+	found := false
+	target := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if types.ExprString(e) == baseStr {
+			found = true
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := identObj(pkg, id); obj != nil && obj == baseObj {
+				found = true
+			}
+		}
+	}
+	for _, l := range loops {
+		body := loopBody(l)
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found || n == def {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					target(lhs)
+				}
+			case *ast.IncDecStmt:
+				target(n.X)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					target(n.X)
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// loopBody returns a for/range statement's block.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// repeatAccess reports whether an index expression with the identical
+// source text appears earlier in the same loop body — its bounds check
+// dominates this site. An earlier occurrence inside a non-dominating
+// branch over-proves (silences), which is gate-safe; writes between the
+// two occurrences likewise only cost a finding, never a false one.
+func repeatAccess(body *ast.BlockStmt, ie *ast.IndexExpr) bool {
+	want := types.ExprString(ie)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		x, ok := n.(*ast.IndexExpr)
+		if ok && x != ie && x.End() <= ie.Pos() && types.ExprString(x) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// guardDominates matches the explicit range-guard idiom: a statement
+// `if i < 0 || i >= len(base) { continue }` (or break/return) earlier in
+// the loop body, with no write to i or base after the guard.
+func guardDominates(pkg *lint.Package, body *ast.BlockStmt, ie *ast.IndexExpr, idxObj types.Object, baseStr string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || ifs.End() > ie.Pos() {
+			return true
+		}
+		if !isRangeGuardCond(pkg, ifs.Cond, idxObj, baseStr) || !exitsIteration(ifs.Body) {
+			return true
+		}
+		if writesAfter(pkg, body, idxObj, baseStr, ifs.End()) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// isRangeGuardCond matches `i < 0 || i >= len(base)` in either order.
+func isRangeGuardCond(pkg *lint.Package, cond ast.Expr, idxObj types.Object, baseStr string) bool {
+	or, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		return false
+	}
+	return (isNegCheck(pkg, or.X, idxObj) && isOverCheck(pkg, or.Y, idxObj, baseStr)) ||
+		(isNegCheck(pkg, or.Y, idxObj) && isOverCheck(pkg, or.X, idxObj, baseStr))
+}
+
+// isNegCheck matches `i < 0`.
+func isNegCheck(pkg *lint.Package, e ast.Expr, idxObj types.Object) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != token.LSS {
+		return false
+	}
+	id, ok := ast.Unparen(b.X).(*ast.Ident)
+	if !ok || identObj(pkg, id) != idxObj {
+		return false
+	}
+	c, isConst := constInt(pkg, b.Y)
+	return isConst && c == 0
+}
+
+// isOverCheck matches `i >= len(base)`.
+func isOverCheck(pkg *lint.Package, e ast.Expr, idxObj types.Object, baseStr string) bool {
+	b, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != token.GEQ {
+		return false
+	}
+	id, ok := ast.Unparen(b.X).(*ast.Ident)
+	if !ok || identObj(pkg, id) != idxObj {
+		return false
+	}
+	bs, ok := lenArg(pkg, b.Y)
+	return ok && bs == baseStr
+}
+
+// exitsIteration reports whether a guard body is a single continue,
+// break, or return — the access is unreachable when the guard fires.
+func exitsIteration(body *ast.BlockStmt) bool {
+	if len(body.List) != 1 {
+		return false
+	}
+	switch s := body.List[0].(type) {
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE || s.Tok == token.BREAK
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// writesAfter is writesIn restricted to writes positioned after a guard —
+// the guard's bounds fact survives up to the access as long as nothing
+// past it mutates the index or the slice.
+func writesAfter(pkg *lint.Package, body ast.Node, idxObj types.Object, baseStr string, after token.Pos) bool {
+	found := false
+	target := func(e ast.Expr) {
+		if e.Pos() <= after {
+			return
+		}
+		e = ast.Unparen(e)
+		if types.ExprString(e) == baseStr {
+			found = true
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := identObj(pkg, id); obj != nil && obj == idxObj {
+				found = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				target(lhs)
+			}
+		case *ast.IncDecStmt:
+			target(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				target(n.X)
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// splitIndex decomposes an index expression into `ident + constant`:
+// plain idents return (ident, 0), i+3 and 3+i return (i, 3), anything
+// else (multiplications, calls, non-constant offsets) returns nil.
+func splitIndex(pkg *lint.Package, e ast.Expr) (*ast.Ident, int64) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		return id, 0
+	}
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op != token.ADD {
+		return nil, 0
+	}
+	if id, ok := ast.Unparen(b.X).(*ast.Ident); ok {
+		if c, ok := constInt(pkg, b.Y); ok && c >= 0 {
+			return id, c
+		}
+	}
+	if id, ok := ast.Unparen(b.Y).(*ast.Ident); ok {
+		if c, ok := constInt(pkg, b.X); ok && c >= 0 {
+			return id, c
+		}
+	}
+	return nil, 0
+}
+
+// condSlack parses a loop condition of the forms `i < len(B)`,
+// `i < len(B)-c`, `i <= len(B)-c` and returns the condition's headroom
+// below len(B) (≥ 0 when `B[i]` is safe at every admitted i), the bound
+// expression's string, and the loop ident. The left side must be the
+// bare loop variable: the compiler's prove pass does not normalize
+// `i+c < len(B)`, so neither does this. A nil ident means the condition
+// is not a recognized bound.
+func condSlack(pkg *lint.Package, cond ast.Expr) (slack int64, baseStr string, idx *ast.Ident) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.LSS && b.Op != token.LEQ) {
+		return 0, "", nil
+	}
+	idx, ok = ast.Unparen(b.X).(*ast.Ident)
+	if !ok {
+		return 0, "", nil
+	}
+	baseStr, sub, ok := lenMinus(pkg, b.Y)
+	if !ok {
+		return 0, "", nil
+	}
+	slack = sub
+	if b.Op == token.LEQ {
+		slack--
+	}
+	if slack < 0 {
+		return 0, "", nil
+	}
+	return slack, baseStr, idx
+}
+
+// condBound parses `i < bound` for an arbitrary bound expression, the
+// shape the assert and clamp rules consume.
+func condBound(pkg *lint.Package, cond ast.Expr) (bound ast.Expr, idx *ast.Ident) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.LSS {
+		return nil, nil
+	}
+	idx, ok = ast.Unparen(b.X).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	return ast.Unparen(b.Y), idx
+}
+
+// writesBound reports whether the body assigns to (or takes the address
+// of) anything whose expression string matches the assert rule's bound.
+func writesBound(pkg *lint.Package, body ast.Node, boundStr string) bool {
+	found := false
+	target := func(e ast.Expr) {
+		if types.ExprString(ast.Unparen(e)) == boundStr {
+			found = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				target(lhs)
+			}
+		case *ast.IncDecStmt:
+			target(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				target(n.X)
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// lenMinus parses `len(B)` or `len(B)-c`, returning B's string and c.
+func lenMinus(pkg *lint.Package, e ast.Expr) (baseStr string, sub int64, ok bool) {
+	e = ast.Unparen(e)
+	if b, isBin := e.(*ast.BinaryExpr); isBin && b.Op == token.SUB {
+		c, isConst := constInt(pkg, b.Y)
+		if !isConst || c < 0 {
+			return "", 0, false
+		}
+		baseStr, ok = lenArg(pkg, b.X)
+		return baseStr, c, ok
+	}
+	baseStr, ok = lenArg(pkg, e)
+	return baseStr, 0, ok
+}
+
+// lenArg matches a call to the len builtin and returns its argument's
+// string form.
+func lenArg(pkg *lint.Package, e ast.Expr) (string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+		return "", false
+	}
+	return types.ExprString(ast.Unparen(call.Args[0])), true
+}
+
+// nonnegInit requires the loop variable to be defined in the loop's init
+// with a nonnegative constant — the lower-bound half of the proof.
+func nonnegInit(pkg *lint.Package, init ast.Stmt, obj types.Object) bool {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE {
+		return false
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || identObj(pkg, id) != obj || i >= len(as.Rhs) {
+			continue
+		}
+		c, isConst := constInt(pkg, as.Rhs[i])
+		return isConst && c >= 0
+	}
+	return false
+}
+
+// unitStep requires the loop post statement to advance the variable by
+// exactly one: i++ or i += 1. Larger strides defeat the compiler's
+// induction-variable detection (verified against -d=ssa/check_bce), so
+// they must stay unproven.
+func unitStep(pkg *lint.Package, post ast.Stmt, obj types.Object) bool {
+	switch p := post.(type) {
+	case *ast.IncDecStmt:
+		id, ok := p.X.(*ast.Ident)
+		return ok && identObj(pkg, id) == obj && p.Tok == token.INC
+	case *ast.AssignStmt:
+		if p.Tok != token.ADD_ASSIGN || len(p.Lhs) != 1 || len(p.Rhs) != 1 {
+			return false
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok || identObj(pkg, id) != obj {
+			return false
+		}
+		c, isConst := constInt(pkg, p.Rhs[0])
+		return isConst && c == 1
+	}
+	return false
+}
+
+// writesIn reports whether the body writes the loop variable, writes the
+// indexed expression (or its root), or takes either's address — anything
+// that would invalidate the dominating-check argument.
+func writesIn(pkg *lint.Package, body ast.Node, idxObj types.Object, base ast.Expr, baseStr string) bool {
+	rootObj := rootIdentObj(pkg, base)
+	found := false
+	target := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if types.ExprString(e) == baseStr {
+			found = true
+			return
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			obj := identObj(pkg, id)
+			if obj != nil && (obj == idxObj || (rootObj != nil && obj == rootObj)) {
+				found = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				target(lhs)
+			}
+		case *ast.IncDecStmt:
+			target(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				target(n.X)
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				target(n.Key)
+			}
+			if n.Value != nil {
+				target(n.Value)
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootIdentObj returns the object of the leftmost identifier of a
+// selector/index chain (m in m.Pix, s in s[i].f).
+func rootIdentObj(pkg *lint.Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return identObj(pkg, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObj(pkg *lint.Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Defs[id]
+}
+
+// constInt evaluates a compile-time integer constant expression.
+func constInt(pkg *lint.Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

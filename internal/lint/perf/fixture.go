@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"testing"
+
+	"verro/internal/lint"
+)
+
+// CheckFixture loads the fixture directories, runs the perf analyzers
+// over them, and returns one problem per mismatch against `// want`
+// comments. With kernel true the fixture packages are added to the
+// config's kernel list (every function a hot root — the hotalloc and
+// hotescape fixtures); with kernel false hotness comes only from the
+// par constructs the fixture calls (the hotpar fixture), proving the
+// worker-pool roots work outside kernel packages.
+func CheckFixture(l *lint.Loader, dirs []string, kernel bool, analyzers ...*Analyzer) (problems []string, err error) {
+	cfg := ProjectConfig()
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+		if kernel {
+			cfg.KernelPkgs = append(cfg.KernelPkgs, pkg.Path)
+		}
+	}
+	return lint.CheckDiagnostics(pkgs, Run(pkgs, cfg, analyzers...))
+}
+
+// RunFixture is the testing wrapper around CheckFixture.
+func RunFixture(t *testing.T, dirs []string, kernel bool, analyzers ...*Analyzer) {
+	t.Helper()
+	problems, err := CheckFixture(lint.NewLoader(), dirs, kernel, analyzers...)
+	if err != nil {
+		t.Fatalf("fixture %v: %v", dirs, err)
+	}
+	for _, p := range problems {
+		t.Errorf("fixture %v: %s", dirs, p)
+	}
+}

@@ -1,0 +1,132 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"verro/internal/lint"
+	"verro/internal/lint/absint"
+)
+
+// The ground-truth gate: every site the bce analyzer reports must be one
+// where the compiler really keeps a bounds check. The direction matters —
+// bce may stay silent on kept checks (under-reporting loses findings, not
+// trust), but a report on an eliminated check would teach people to
+// "fix" code the compiler already handles, so it fails the build here.
+
+// keptChecks builds the packages with -d=ssa/check_bce under a throwaway
+// GOCACHE (forcing a cold compile so the diagnostic output actually
+// appears) and returns the kept-check sites as "file.go:line" keys.
+func keptChecks(t *testing.T, dir string, patterns ...string) map[string]bool {
+	t.Helper()
+	args := append([]string{"build", "-gcflags=-d=ssa/check_bce"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOCACHE="+t.TempDir(), "GOFLAGS=")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go %s: %v\n%s", strings.Join(args, " "), err, out.String())
+	}
+	kept := map[string]bool{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.Contains(line, "Found Is") {
+			continue
+		}
+		// "./kernel.go:18:15: Found IsInBounds" — keep basename and line.
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) < 3 {
+			continue
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil {
+			continue
+		}
+		kept[fmt.Sprintf("%s:%d", filepath.Base(parts[0]), n)] = true
+	}
+	return kept
+}
+
+// bceReports runs the project bce analyzer over the directories and
+// returns its diagnostics as "file.go:line" keys (suppressed sites do not
+// appear, matching what a verrolint run would fail on).
+func bceReports(t *testing.T, dirs []string) map[string]bool {
+	t.Helper()
+	loader := lint.NewLoader()
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	reports := map[string]bool{}
+	for _, d := range absint.Run(pkgs, NewProjectBCE()) {
+		reports[fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)] = true
+	}
+	return reports
+}
+
+func assertSubset(t *testing.T, reports, kept map[string]bool) {
+	t.Helper()
+	for site := range reports {
+		if !kept[site] {
+			t.Errorf("bce reported %s, but the compiler eliminates that bounds check (-d=ssa/check_bce)", site)
+		}
+	}
+}
+
+// TestGroundTruthFixture compiles the self-contained fixture module and
+// checks the subset property plus non-vacuity: the fixture's known-kept
+// shapes must be reported, so the gate cannot silently pass by reporting
+// nothing.
+func TestGroundTruthFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold compiles under a throwaway GOCACHE; run without -short")
+	}
+	kept := keptChecks(t, "testdata/groundtruth", ".")
+	reports := bceReports(t, []string{"testdata/groundtruth"})
+	assertSubset(t, reports, kept)
+	for _, site := range []string{"kernel.go:18", "kernel.go:28", "kernel.go:38", "kernel.go:116"} {
+		if !reports[site] {
+			t.Errorf("bce missed the known-kept check at %s; the gate would be vacuous", site)
+		}
+	}
+	for _, site := range []string{
+		"kernel.go:47", "kernel.go:56", "kernel.go:69", "kernel.go:81", // range/counter/row/assert
+		"kernel.go:95", "kernel.go:105", "kernel.go:117", // clamp/mirror/repeat
+		"kernel.go:130", "kernel.go:132", "kernel.go:149", // subslice const/counter, guard
+	} {
+		if reports[site] {
+			t.Errorf("bce reported the compiler-eliminated site %s", site)
+		}
+	}
+}
+
+// TestGroundTruthKernels runs the same subset gate over the real kernel
+// packages: after the hot-path sweep they should be clean, and whatever
+// remains (or regresses) must at least be honest about the generated
+// code.
+func TestGroundTruthKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold compiles under a throwaway GOCACHE; run without -short")
+	}
+	kernels := []string{"img", "hog", "inpaint", "blur", "keyframe"}
+	patterns := make([]string, len(kernels))
+	dirs := make([]string, len(kernels))
+	for i, k := range kernels {
+		patterns[i] = "verro/internal/" + k
+		dirs[i] = filepath.Join("..", "..", k)
+	}
+	kept := keptChecks(t, filepath.Join("..", "..", ".."), patterns...)
+	reports := bceReports(t, dirs)
+	assertSubset(t, reports, kept)
+}

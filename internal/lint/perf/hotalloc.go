@@ -1,0 +1,218 @@
+package perf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"verro/internal/lint"
+)
+
+// NewHotAlloc builds the hotalloc analyzer: no heap allocation inside a
+// hot loop. Every flagged construct allocates per iteration — make, new,
+// map/slice composite literals, &T{} escapes, growing a nil slice with
+// append, string↔[]byte conversion copies, fmt-style calls that box their
+// arguments into interfaces, and defer (whose frame is heap-allocated
+// per iteration). The fix idioms are in README's perf-lint section:
+// hoist the buffer, preallocate with capacity, or move the formatting
+// out of the kernel.
+func NewHotAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "hot loops must not allocate (make/new/literals/append-growth/conversions/boxing/defer)",
+		run:  runHotAlloc,
+	}
+}
+
+// boxPkgs are packages whose calls take ...any and therefore box every
+// concrete argument, allocating per call.
+var boxPkgs = map[string]bool{"fmt": true, "log": true, "errors": true}
+
+func runHotAlloc(p *pass) {
+	for _, r := range p.hs.regions {
+		prealloc := preallocInfo(p.pkg, r.decl)
+		s := &scanner{hs: p.hs, r: r}
+		s.visit = func(n ast.Node, loops []ast.Node) bool {
+			if !s.inLoop(loops) {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				p.report(n.Pos(), "defer in a hot loop allocates its frame per iteration and delays the call to function exit")
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					if _, ok := n.X.(*ast.CompositeLit); ok {
+						p.report(n.Pos(), "&composite literal allocates on the heap per hot-loop iteration; hoist the value or reuse one")
+					}
+				}
+			case *ast.CompositeLit:
+				t := p.pkg.Info.TypeOf(n)
+				if t == nil {
+					return true
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					p.report(n.Pos(), "slice literal allocates per hot-loop iteration; hoist the slice out of the loop")
+				case *types.Map:
+					p.report(n.Pos(), "map literal allocates per hot-loop iteration; hoist the map and clear it instead")
+				}
+			case *ast.CallExpr:
+				checkHotCall(p, prealloc, n)
+			}
+			return true
+		}
+		s.scan()
+	}
+}
+
+// checkHotCall classifies one call inside a hot loop: builtin allocators,
+// append growth, allocating conversions, and boxing calls.
+func checkHotCall(p *pass, prealloc map[types.Object]bool, call *ast.CallExpr) {
+	info := p.pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) == 0 {
+					return
+				}
+				t := info.TypeOf(call.Args[0])
+				if t == nil {
+					return
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					p.report(call.Pos(), "make allocates a slice per hot-loop iteration; hoist the buffer out of the loop and reuse it")
+				case *types.Map:
+					p.report(call.Pos(), "make allocates a map per hot-loop iteration; hoist the map and clear it instead")
+				case *types.Chan:
+					p.report(call.Pos(), "make allocates a channel per hot-loop iteration; hoist it out of the loop")
+				}
+			case "new":
+				p.report(call.Pos(), "new allocates per hot-loop iteration; hoist the value out of the loop")
+			case "append":
+				checkAppend(p, prealloc, call)
+			}
+			return
+		}
+	}
+	// A type conversion parses as a call whose Fun denotes a type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		if src != nil && conversionAllocates(dst, src.Underlying()) {
+			p.report(call.Pos(), "string↔[]byte conversion copies and allocates per hot-loop iteration; keep one representation through the loop")
+		}
+		return
+	}
+	if fn := staticCallee(info, call); fn != nil && fn.Pkg() != nil && boxPkgs[fn.Pkg().Path()] {
+		p.report(call.Pos(), "%s.%s boxes its arguments into interfaces and allocates per hot-loop iteration; move formatting out of the kernel", fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// conversionAllocates reports whether converting src to dst copies the
+// contents: string↔[]byte (and string→[]rune).
+func conversionAllocates(dst, src types.Type) bool {
+	return (isString(dst) && isByteSlice(src)) ||
+		(isByteSlice(dst) && isString(src)) ||
+		(isRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}
+
+// checkAppend flags appends that grow a slice declared with no capacity.
+// Appending into a slice made with an explicit length or capacity is the
+// preallocation idiom and stays silent — the analyzer only claims an
+// allocation when the destination provably started nil or empty.
+func checkAppend(p *pass, prealloc map[types.Object]bool, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := p.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = p.pkg.Info.Defs[id]
+	}
+	if obj == nil || !prealloc[obj] {
+		return
+	}
+	p.report(call.Pos(), "append grows %s from a nil slice per hot-loop iteration; preallocate with make(%s, 0, n) before the loop", id.Name, types.TypeString(obj.Type(), types.RelativeTo(p.pkg.Types)))
+}
+
+// preallocInfo scans one function declaration for slice variables that
+// provably start with no capacity: `var x []T` and `x := []T{}`. Only
+// those destinations make an in-loop append a reportable allocation;
+// parameters, fields, and make-initialized slices stay silent.
+func preallocInfo(pkg *lint.Package, decl *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if decl == nil || decl.Body == nil {
+		return out
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lit, ok := ast.Unparen(n.Rhs[i]).(*ast.CompositeLit)
+				if !ok || len(lit.Elts) != 0 {
+					continue
+				}
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+						out[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

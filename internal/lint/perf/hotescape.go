@@ -1,0 +1,119 @@
+package perf
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"verro/internal/lint"
+)
+
+// NewHotEscape builds the hotescape analyzer: hot-loop locals must stay on
+// the stack. Three constructs defeat the compiler's escape analysis per
+// iteration — building a closure (its environment is heap-allocated when
+// it outlives the statement), launching a goroutine (its closure and
+// arguments escape), and letting a local's address leave the analyzed
+// package (a call the compiler cannot see through must assume the pointer
+// is retained). Addresses passed to same-package functions stay silent:
+// the compiler inlines or analyzes those, and so could we, but the cheap
+// rule already matches where escape analysis actually gives up.
+func NewHotEscape() *Analyzer {
+	return &Analyzer{
+		Name: "hotescape",
+		Doc:  "hot-loop locals must not escape (closures, goroutines, addresses leaving the package)",
+		run:  runHotEscape,
+	}
+}
+
+func runHotEscape(p *pass) {
+	for _, r := range p.hs.regions {
+		s := &scanner{hs: p.hs, r: r}
+		s.visit = func(n ast.Node, loops []ast.Node) bool {
+			if !s.inLoop(loops) {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.report(n.Pos(), "goroutine launched per hot-loop iteration; its closure and arguments escape — use the worker pool instead")
+			case *ast.FuncLit:
+				// The scanner never visits par-closure or immediately-
+				// invoked literals, so every literal seen here is a real
+				// per-iteration closure value.
+				p.report(n.Pos(), "closure built per hot-loop iteration allocates its environment; hoist it out of the loop or pass values directly")
+			case *ast.CallExpr:
+				checkEscapingArgs(p, n)
+			case *ast.AssignStmt:
+				checkEscapingStore(p, n)
+			}
+			return true
+		}
+		s.scan()
+	}
+}
+
+// checkEscapingArgs flags &local arguments to calls the compiler cannot
+// analyze from here: dynamic calls and calls into other packages.
+func checkEscapingArgs(p *pass, call *ast.CallExpr) {
+	var local *ast.Ident
+	for _, a := range call.Args {
+		if id := addrOfLocal(p.pkg, a); id != nil {
+			local = id
+			break
+		}
+	}
+	if local == nil {
+		return
+	}
+	fn := staticCallee(p.pkg.Info, call)
+	if fn == nil {
+		// Builtins (append(&x...) is not legal, but be safe) resolve to
+		// *types.Builtin, not *types.Func; they do not retain pointers.
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		p.report(local.Pos(), "address of hot-loop local %s passed through a dynamic call; escape analysis must heap-allocate it", local.Name)
+		return
+	}
+	if fn.Pkg() != nil && p.pkg.Types != nil && fn.Pkg().Path() == p.pkg.Types.Path() {
+		return
+	}
+	p.report(local.Pos(), "address of hot-loop local %s leaves the package via %s; escape analysis must heap-allocate it", local.Name, fn.Name())
+}
+
+// checkEscapingStore flags storing a local's address into a structure
+// that outlives the iteration (field or element target).
+func checkEscapingStore(p *pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		id := addrOfLocal(p.pkg, rhs)
+		if id == nil || i >= len(as.Lhs) {
+			continue
+		}
+		switch ast.Unparen(as.Lhs[i]).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+			p.report(id.Pos(), "address of hot-loop local %s stored outside the loop frame; it escapes to the heap", id.Name)
+		}
+	}
+}
+
+// addrOfLocal matches &x where x is a function-local variable (not a
+// field selector, not a package-level var) and returns the ident.
+func addrOfLocal(pkg *lint.Package, e ast.Expr) *ast.Ident {
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	id, ok := ast.Unparen(u.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pkg.Info.Uses[id].(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if pkg.Types != nil && v.Parent() == pkg.Types.Scope() {
+		return nil
+	}
+	return id
+}

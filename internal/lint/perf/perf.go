@@ -1,0 +1,440 @@
+// Package perf is verrolint's performance layer: analyzers that prove the
+// repository's hot loops are allocation-free and bounds-check-eliminable
+// before anyone spends a PR making them faster. The privacy suites ask
+// "can raw data leak?"; this suite asks "will the per-frame kernels churn
+// the GC or re-check every index?" — the prerequisite hygiene for the
+// SIMD-class kernel work on the roadmap.
+//
+// The unit of policy is the hot set (DESIGN.md §2j): a per-package set of
+// functions that run per frame or per pixel. Roots are (a) every function
+// declared in a configured kernel package, (b) extra named entrypoints
+// (the Phase-II render cores), and (c) every closure passed to a
+// worker-pool construct (par.For, par.Map, par.MapPool, (par.Pool).For).
+// Hotness propagates through same-package static calls at two strengths:
+// hot (the body's own loops are hot loops) and loop-hot (the function is
+// called from inside a hot loop, so its entire body counts as loop
+// interior). Cross-package hotness needs no propagation: the kernel
+// packages' functions are roots in their own package, and Go's import
+// graph is acyclic, so a package's hot set depends only on its own source
+// — which is what lets the incremental driver cache perf diagnostics
+// per package with no cross-package summaries at all.
+//
+// Known under-approximations, accepted for sweep-clean signal: calls
+// through interfaces or stored func values do not propagate hotness, and
+// a par closure calling into a non-kernel dependency package does not
+// mark that dependency hot.
+package perf
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"verro/internal/lint"
+)
+
+// Analyzer is one hot-path check. Perf analyzers are strictly per-package
+// (see the package comment for why that loses nothing), so unlike the
+// flow/absint suites there is no whole-program fixpoint to share.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// directives.
+	Name string
+	// Doc is the one-line invariant the analyzer encodes.
+	Doc string
+
+	run func(p *pass)
+}
+
+// Config declares what is hot. The project policy lives in suite.go;
+// tests substitute fixture-sized configs.
+type Config struct {
+	// KernelPkgs are package paths (exact or prefix) whose every declared
+	// function is a hot root: they are the per-frame compute kernels.
+	KernelPkgs []string
+	// HotFuncs are extra hot roots by normalized full name — entrypoints
+	// that live outside kernel packages, like the Phase-II render cores.
+	HotFuncs map[string]bool
+	// ParChunk maps normalized callee names of worker-pool constructs
+	// whose closure argument runs once per index chunk (par.For): only
+	// loops inside the closure are hot loops.
+	ParChunk map[string]bool
+	// ParElem maps constructs whose closure runs once per element
+	// (par.Map, par.MapPool): the whole closure body is loop interior.
+	ParElem map[string]bool
+}
+
+// Kernel reports whether the package path is a configured kernel package.
+func (c *Config) Kernel(pkgPath string) bool {
+	for _, k := range c.KernelPkgs {
+		if pkgPath == k || strings.HasPrefix(pkgPath, k+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the perf analyzers over each package and returns the
+// combined diagnostics sorted by position, with //lint:allow honored
+// exactly as in the other suites.
+func Run(pkgs []*lint.Package, cfg *Config, analyzers ...*Analyzer) []lint.Diagnostic {
+	var diags []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, AnalyzePackage(pkg, cfg, analyzers)...)
+	}
+	lint.Sort(diags)
+	return diags
+}
+
+// AnalyzePackage runs the perf analyzers over one package and returns its
+// sorted diagnostics. This is the incremental driver's entrypoint; because
+// hot sets are a pure function of one package's source, it needs no
+// dependency facts and its output is identical to Run's view of the same
+// package.
+func AnalyzePackage(pkg *lint.Package, cfg *Config, analyzers []*Analyzer) []lint.Diagnostic {
+	hs := buildHotSet(pkg, cfg)
+	var diags []lint.Diagnostic
+	allow := pkg.Allow()
+	for _, a := range analyzers {
+		p := &pass{
+			pkg:  pkg,
+			hs:   hs,
+			seen: map[string]bool{},
+		}
+		p.report = func(pos token.Pos, format string, args ...any) {
+			position := pkg.Fset.Position(pos)
+			if allow.Allows(a.Name, position) {
+				return
+			}
+			d := lint.Diagnostic{Pos: position, Analyzer: a.Name, Message: fmt.Sprintf(format, args...)}
+			key := d.String()
+			if p.seen[key] {
+				return
+			}
+			p.seen[key] = true
+			diags = append(diags, d)
+		}
+		a.run(p)
+	}
+	lint.Sort(diags)
+	return diags
+}
+
+// pass carries one analyzer's view of one package's hot set.
+type pass struct {
+	pkg    *lint.Package
+	hs     *hotSet
+	seen   map[string]bool
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// ---------------------------------------------------------------------
+// Hot-set construction
+
+// region is one contiguous body of hot code to scan: a hot function's
+// body, or a par closure's body. baseLoop means the whole region is loop
+// interior (loop-hot functions, per-element closures).
+type region struct {
+	body     *ast.BlockStmt
+	baseLoop bool
+	// decl is the enclosing declaration, for prealloc lookups that need
+	// to see definitions outside the region (a par closure appending to a
+	// captured slice).
+	decl *ast.FuncDecl
+}
+
+// edge is one same-package static call out of a function or par closure.
+type edge struct {
+	callee string
+	inLoop bool
+}
+
+// fnNode is one function declaration's hot-set state.
+type fnNode struct {
+	decl    *ast.FuncDecl
+	edges   []edge
+	hot     bool
+	loopHot bool
+}
+
+// hotSet is the computed hot-code map of one package.
+type hotSet struct {
+	pkg     *lint.Package
+	cfg     *Config
+	fns     map[string]*fnNode
+	regions []region
+	// parBodies marks closure bodies handed to worker-pool constructs;
+	// region walks skip them (each has its own region with the right
+	// loop base), and hotescape exempts them from closure-in-loop
+	// reporting (they are the sharding boundary, not per-iteration
+	// garbage).
+	parBodies map[*ast.BlockStmt]bool
+}
+
+// buildHotSet indexes the package's functions, finds the hot roots, and
+// propagates hotness through same-package static calls to a fixpoint.
+func buildHotSet(pkg *lint.Package, cfg *Config) *hotSet {
+	hs := &hotSet{pkg: pkg, cfg: cfg, fns: map[string]*fnNode{}, parBodies: map[*ast.BlockStmt]bool{}}
+
+	type parRoot struct {
+		lit   *ast.FuncLit
+		elem  bool
+		decl  *ast.FuncDecl
+		edges []edge
+	}
+	var parRoots []parRoot
+	// Named same-package functions handed to par constructs are roots too
+	// (par.MapPool(pool, n, 1, renderFrame) with renderFrame declared, not
+	// a literal).
+	var parFnRoots []parFn
+
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &fnNode{decl: fd}
+			hs.fns[normName(obj)] = n
+			w := &edgeWalker{hs: hs}
+			w.walk(fd.Body, 0)
+			n.edges = w.edges
+			parFnRoots = append(parFnRoots, w.parFns...)
+			for _, pr := range w.par {
+				pw := &edgeWalker{hs: hs}
+				base := 0
+				if pr.elem {
+					base = 1
+				}
+				pw.walk(pr.lit.Body, base)
+				parRoots = append(parRoots, parRoot{lit: pr.lit, elem: pr.elem, decl: fd, edges: pw.edges})
+				parFnRoots = append(parFnRoots, pw.parFns...)
+				// Closures nested inside a par closure that are themselves
+				// handed to a par construct are rare but legal; fold their
+				// roots in too.
+				for _, inner := range pw.par {
+					parRoots = append(parRoots, parRoot{lit: inner.lit, elem: inner.elem, decl: fd})
+				}
+			}
+		}
+	}
+
+	// Seed and propagate. mark returns true when the callee's state rose,
+	// keeping the worklist loop a monotone fixpoint over a finite lattice.
+	var work []string
+	mark := func(name string, loopHot bool) {
+		n := hs.fns[name]
+		if n == nil {
+			return
+		}
+		changed := false
+		if !n.hot {
+			n.hot = true
+			changed = true
+		}
+		if loopHot && !n.loopHot {
+			n.loopHot = true
+			changed = true
+		}
+		if changed {
+			work = append(work, name)
+		}
+	}
+	kernel := cfg.Kernel(pkg.Path)
+	for name, n := range hs.fns {
+		if kernel || cfg.HotFuncs[name] {
+			n.hot = true
+			work = append(work, name)
+		}
+	}
+	sort.Strings(work)
+	for _, pr := range parRoots {
+		hs.parBodies[pr.lit.Body] = true
+		for _, e := range pr.edges {
+			mark(e.callee, pr.elem || e.inLoop)
+		}
+	}
+	for _, pf := range parFnRoots {
+		mark(pf.name, pf.elem)
+	}
+	for len(work) > 0 {
+		name := work[len(work)-1]
+		work = work[:len(work)-1]
+		n := hs.fns[name]
+		for _, e := range n.edges {
+			mark(e.callee, n.loopHot || e.inLoop)
+		}
+	}
+
+	// Materialize the scan regions in deterministic (position) order.
+	for _, name := range sortedNames(hs.fns) {
+		n := hs.fns[name]
+		if n.hot || n.loopHot {
+			hs.regions = append(hs.regions, region{body: n.decl.Body, baseLoop: n.loopHot, decl: n.decl})
+		}
+	}
+	for _, pr := range parRoots {
+		hs.regions = append(hs.regions, region{body: pr.lit.Body, baseLoop: pr.elem, decl: pr.decl})
+	}
+	sort.Slice(hs.regions, func(i, j int) bool { return hs.regions[i].body.Pos() < hs.regions[j].body.Pos() })
+	return hs
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// normName matches the flow/absint convention: types.Func.FullName with
+// pointer-receiver stars stripped.
+func normName(fn *types.Func) string {
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	return strings.ReplaceAll(fn.FullName(), "*", "")
+}
+
+// edgeWalker collects one body's same-package call edges and par-closure
+// roots. Nested closures restart the loop depth at zero: a closure built
+// in a loop may run anywhere, so its interior only counts as loop code
+// through its own loops (hotescape separately flags the closure's
+// construction).
+type edgeWalker struct {
+	hs     *hotSet
+	edges  []edge
+	parFns []parFn
+	par    []struct {
+		lit  *ast.FuncLit
+		elem bool
+	}
+}
+
+// parFn is a named function used as a par-construct body.
+type parFn struct {
+	name string
+	elem bool
+}
+
+func (w *edgeWalker) walk(n ast.Node, depth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		w.walkEach(depth, n.Init, n.Cond, n.Post)
+		w.walk(n.Body, depth+1)
+		return
+	case *ast.RangeStmt:
+		w.walkEach(depth, n.Key, n.Value, n.X)
+		w.walk(n.Body, depth+1)
+		return
+	case *ast.FuncLit:
+		w.walk(n.Body, 0)
+		return
+	case *ast.CallExpr:
+		if fn := staticCallee(w.hs.pkg.Info, n); fn != nil {
+			name := normName(fn)
+			elem := w.hs.cfg.ParElem[name]
+			if (w.hs.cfg.ParChunk[name] || elem) && len(n.Args) > 0 {
+				last := n.Args[len(n.Args)-1]
+				if lit, ok := last.(*ast.FuncLit); ok {
+					w.par = append(w.par, struct {
+						lit  *ast.FuncLit
+						elem bool
+					}{lit, elem})
+					for _, a := range n.Args[:len(n.Args)-1] {
+						w.walk(a, depth)
+					}
+					return
+				}
+				if body := funcValue(w.hs.pkg, last); body != nil {
+					w.parFns = append(w.parFns, parFn{name: normName(body), elem: elem})
+				}
+			}
+			if fn.Pkg() != nil && w.hs.pkg.Types != nil && fn.Pkg().Path() == w.hs.pkg.Types.Path() {
+				w.edges = append(w.edges, edge{callee: name, inLoop: depth > 0})
+			}
+		}
+	}
+	for _, c := range children(n) {
+		w.walk(c, depth)
+	}
+}
+
+func (w *edgeWalker) walkEach(depth int, nodes ...ast.Node) {
+	for _, n := range nodes {
+		if n != nil {
+			w.walk(n, depth)
+		}
+	}
+}
+
+// children returns a node's direct AST children, the generic recursion
+// step for walkers that manage loop depth themselves.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	if n == nil {
+		return nil
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil {
+			return false
+		}
+		if c == n {
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// funcValue resolves an expression used as a function argument to the
+// same-package *types.Func it names, or nil.
+func funcValue(pkg *lint.Package, e ast.Expr) *types.Func {
+	var fn *types.Func
+	switch f := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ = pkg.Info.Uses[f].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pkg.Info.Uses[f.Sel].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || pkg.Types == nil || fn.Pkg().Path() != pkg.Types.Path() {
+		return nil
+	}
+	return fn
+}
+
+// staticCallee resolves a call to its target *types.Func when the callee
+// is a plain identifier or selector (possibly generic-instantiated) —
+// the flow engine's resolution, repeated here because the packages do not
+// export it to each other.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			fn, _ := info.Uses[f].(*types.Func)
+			return fn
+		case *ast.SelectorExpr:
+			fn, _ := info.Uses[f.Sel].(*types.Func)
+			return fn
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"testing"
+
+	"verro/internal/lint/absint"
+)
+
+func TestHotAllocFixture(t *testing.T) {
+	RunFixture(t, []string{"testdata/hotalloc"}, true, NewHotAlloc())
+}
+
+func TestHotEscapeFixture(t *testing.T) {
+	RunFixture(t, []string{"testdata/hotescape"}, true, NewHotEscape())
+}
+
+// TestHotParFixture runs both perf analyzers over the par-roots fixture:
+// the package is not a kernel, so every finding there proves the
+// worker-pool constructs seed the hot set on their own.
+func TestHotParFixture(t *testing.T) {
+	RunFixture(t, []string{"testdata/hotpar"}, false, ProjectAnalyzers()...)
+}
+
+// TestBCEFixture drives the interval-backed bce analyzer through the
+// absint engine, exactly as the driver wires it.
+func TestBCEFixture(t *testing.T) {
+	absint.RunFixture(t, []string{"testdata/bce"}, NewProjectBCE())
+}
+
+// TestAnalyzerNamesDistinct guards the shared-baseline contract within
+// the perf suite (cross-suite uniqueness is asserted in the driver test).
+func TestAnalyzerNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range ProjectAnalyzers() {
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no doc", a.Name)
+		}
+	}
+}
+
+// TestKernelPrefixMatch pins Config.Kernel's prefix semantics: exact
+// package or subpackage, never a sibling sharing a name prefix.
+func TestKernelPrefixMatch(t *testing.T) {
+	cfg := &Config{KernelPkgs: []string{"verro/internal/img"}}
+	for path, want := range map[string]bool{
+		"verro/internal/img":      true,
+		"verro/internal/img/raw":  true,
+		"verro/internal/imgcodec": false,
+		"verro/internal/hog":      false,
+	} {
+		if got := cfg.Kernel(path); got != want {
+			t.Errorf("Kernel(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package perf
+
+import (
+	"go/ast"
+)
+
+// scanner walks one hot region, tracking the stack of enclosing loop
+// statements so visitors know whether a node sits in loop interior and
+// which loops dominate it. Nested closures restart the stack (their
+// execution context is unknown); closures handed to par constructs are
+// skipped entirely — each is its own region. Immediately-invoked literals
+// keep the current stack: they run inline.
+type scanner struct {
+	hs *hotSet
+	r  region
+	// visit is called for every node. loops is the stack of enclosing
+	// for/range statements within the region, innermost last; it is only
+	// valid during the call. Returning false prunes the subtree.
+	visit func(n ast.Node, loops []ast.Node) bool
+}
+
+// inLoop reports whether a visit with the given stack is loop interior —
+// syntactically inside a loop, or anywhere in a region whose every
+// statement is loop interior (loop-hot functions, per-element closures).
+func (s *scanner) inLoop(loops []ast.Node) bool {
+	return s.r.baseLoop || len(loops) > 0
+}
+
+func (s *scanner) scan() {
+	s.walk(s.r.body, nil)
+}
+
+func (s *scanner) walk(n ast.Node, loops []ast.Node) {
+	if n == nil {
+		return
+	}
+	// Par-closure literals are invisible to visitors — each is its own
+	// region — so the skip must come before the visit call.
+	if lit, ok := n.(*ast.FuncLit); ok && s.hs.parBodies[lit.Body] {
+		return
+	}
+	if !s.visit(n, loops) {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		s.walkEach(loops, n.Init, n.Cond, n.Post)
+		s.walk(n.Body, append(loops, n))
+		return
+	case *ast.RangeStmt:
+		s.walkEach(loops, n.Key, n.Value, n.X)
+		s.walk(n.Body, append(loops, n))
+		return
+	case *ast.FuncLit:
+		s.walk(n.Body, nil)
+		return
+	case *ast.CallExpr:
+		if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+			for _, a := range n.Args {
+				s.walk(a, loops)
+			}
+			s.walk(lit.Body, loops)
+			return
+		}
+	}
+	for _, c := range children(n) {
+		s.walk(c, loops)
+	}
+}
+
+func (s *scanner) walkEach(loops []ast.Node, nodes ...ast.Node) {
+	for _, n := range nodes {
+		if n != nil {
+			s.walk(n, loops)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package perf
+
+import (
+	"go/token"
+	"strings"
+	"sync"
+
+	"verro/internal/lint"
+	"verro/internal/lint/absint"
+)
+
+// ProjectConfig is this repository's hot-set policy: the per-frame CV
+// kernels are hot wholesale, the Phase-II render cores are named roots,
+// and every worker-pool closure is hot wherever it appears.
+func ProjectConfig() *Config {
+	return &Config{
+		KernelPkgs: []string{
+			"verro/internal/img",
+			"verro/internal/hog",
+			"verro/internal/inpaint",
+			"verro/internal/blur",
+			"verro/internal/keyframe",
+		},
+		HotFuncs: map[string]bool{
+			// Phase-II stream/render stage cores outside the kernel
+			// packages: per-frame geometry and rendering.
+			"(verro/internal/core.phase2Plan).renderRange":   true,
+			"(verro/internal/core.phase2Plan).geometryRange": true,
+		},
+		ParChunk: map[string]bool{
+			"verro/internal/par.For":        true,
+			"(verro/internal/par.Pool).For": true,
+		},
+		ParElem: map[string]bool{
+			"verro/internal/par.Map":     true,
+			"verro/internal/par.MapPool": true,
+		},
+	}
+}
+
+// fixtureConfig treats a perf fixture package as one kernel with the real
+// par construct names, so testdata exercises the same policy shapes.
+func fixtureConfig(pkgPath string) *Config {
+	cfg := ProjectConfig()
+	cfg.KernelPkgs = append(cfg.KernelPkgs, pkgPath)
+	return cfg
+}
+
+// ProjectAnalyzers returns the perf suite configured for this repository.
+func ProjectAnalyzers() []*Analyzer {
+	return []*Analyzer{NewHotAlloc(), NewHotEscape()}
+}
+
+// NewProjectBCE builds the bce interval analyzer bound to the project
+// hot-set policy. It lives here rather than in the absint suite because
+// the hot-loop site classification is perf's; absint contributes the
+// value facts. Match covers the kernel packages plus the perf fixtures.
+func NewProjectBCE() *absint.Analyzer {
+	cfg := ProjectConfig()
+	a := absint.NewBCE(SiteFilter(cfg))
+	a.Match = func(pkgPath string) bool {
+		if cfg.Kernel(pkgPath) {
+			return true
+		}
+		// The perf analyzer fixtures and the cmd/verrolint driver fixture
+		// (hot via its par.For closure, not via a kernel package).
+		return strings.Contains(pkgPath, "perf/testdata") ||
+			strings.Contains(pkgPath, "testdata/perfdemo")
+	}
+	return a
+}
+
+// SiteFilter adapts IndexSites into the per-position callback absint's
+// bce hook consumes, memoizing per package. The absint engine constructs
+// hooks once per analyzed function, and the incremental driver analyzes
+// packages concurrently, so the memo is locked.
+func SiteFilter(cfg *Config) func(pkg *lint.Package, pos token.Pos) (hot, proven bool) {
+	var mu sync.Mutex
+	memo := map[*lint.Package]map[token.Pos]bool{}
+	return func(pkg *lint.Package, pos token.Pos) (hot, proven bool) {
+		mu.Lock()
+		sites, ok := memo[pkg]
+		if !ok {
+			c := cfg
+			if strings.Contains(pkg.Path, "perf/testdata") {
+				c = fixtureConfig(pkg.Path)
+			}
+			sites = IndexSites(pkg, c)
+			memo[pkg] = sites
+		}
+		mu.Unlock()
+		proven, hot = sites[pos]
+		return hot, proven
+	}
+}

@@ -1,0 +1,242 @@
+// Package bce exercises the bce analyzer: indexing inside a hot loop
+// must be provably bounds-check-eliminable, either syntactically (the
+// range and counter rules) or by interval value facts. The fixture is
+// treated as a kernel package, so every loop here is hot.
+package bce
+
+// rowMajor is the repository's canonical offender: y*stride+x is opaque
+// to the prove pass, so the compiler keeps an IsInBounds per pixel.
+func rowMajor(pix []float64, w, h, stride int) float64 {
+	total := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			total += pix[y*stride+x] // want "bounds check in hot loop is not provably eliminable"
+		}
+	}
+	return total
+}
+
+// ranged is clean: the range rule proves xs[i] for i := range xs.
+func ranged(xs []float64) float64 {
+	total := 0.0
+	for i := range xs {
+		total += xs[i]
+	}
+	return total
+}
+
+// counter is clean: i < len(xs) with i := 0 and i++ dominates xs[i].
+func counter(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// headroom is clean: i < len(xs)-1 admits every i the body indexes.
+func headroom(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs)-1; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// leqBound is clean: i <= len(xs)-1 normalizes to the counter rule.
+func leqBound(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i <= len(xs)-1; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// offsetIndex: the compiler does NOT eliminate offset indices even under
+// slack conditions (verified against -d=ssa/check_bce), so the prover
+// must report both sites — a human argument that i+1 < len(xs) covers
+// them is an argument the prove pass never makes.
+func offsetIndex(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		total += xs[i] + xs[i+1] // want "bounds check in hot loop" "bounds check in hot loop"
+	}
+	return total
+}
+
+// strided: step two defeats induction-variable detection.
+func strided(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i += 2 {
+		total += xs[i] // want "bounds check in hot loop is not provably eliminable"
+	}
+	return total
+}
+
+// hoistAssert is clean: the `_ = xs[n-1]` assertion before the loop ties
+// n to len(xs), exactly the idiom the diagnostic recommends.
+func hoistAssert(xs []float64, n int) float64 {
+	total := 0.0
+	_ = xs[n-1]
+	for i := 0; i < n; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// valueProven is clean: no syntactic rule applies to a constant index,
+// but the interval engine knows xs has length 8 and the index is 3.
+func valueProven(n int) float64 {
+	xs := make([]float64, 8)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += xs[3]
+	}
+	return total
+}
+
+// mutatedBase re-slices the indexed slice inside the body, invalidating
+// the dominating-check argument.
+func mutatedBase(xs []float64) float64 {
+	total := 0.0
+	for i := range xs {
+		xs = xs[:len(xs)-1]
+		total += xs[i] // want "bounds check in hot loop is not provably eliminable"
+	}
+	return total
+}
+
+// dataDependent: idx[i] is range-proven, but xs[idx[i]] depends on data
+// the prover cannot bound.
+func dataDependent(xs []float64, idx []int) float64 {
+	total := 0.0
+	for i := range idx {
+		total += xs[idx[i]] // want "bounds check in hot loop is not provably eliminable"
+	}
+	return total
+}
+
+// minClamp is clean: the prologue clamps n to min(len(a), len(b)), so
+// both accesses under i < n are proven by the clamp rule.
+func minClamp(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += a[i] * b[i]
+	}
+	return total
+}
+
+// clampMissing: n is clamped against a only, so b[i] stays unproven.
+func clampMissing(a, b []float64) float64 {
+	n := len(a)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += b[i] // want "bounds check in hot loop is not provably eliminable"
+	}
+	return total
+}
+
+// makeMirror is clean: out shares v's length by construction, so the
+// range key proves out[i] via the mirror rule.
+func makeMirror(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * 2
+	}
+	return out
+}
+
+// mirrorMissing: out's length is unrelated to v's, so out[i] under
+// range v stays unproven.
+func mirrorMissing(v []float64, m int) []float64 {
+	out := make([]float64, m)
+	for i, x := range v {
+		out[i] = x * 2 // want "bounds check in hot loop is not provably eliminable"
+	}
+	return out
+}
+
+// repeated: the first pix[i] pays the kept check; the write-back is
+// dominated by it and proven by the repeat rule.
+func repeated(pix []float64, w, h, stride int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*stride + x
+			v := pix[i] // want "bounds check in hot loop is not provably eliminable"
+			pix[i] = v * 0.5
+		}
+	}
+}
+
+// guarded is clean on prev[px]: the explicit range guard dominates the
+// access (cur[x] is counter-proven).
+func guarded(prev, cur []float64, shift int) float64 {
+	total := 0.0
+	for x := 0; x < len(cur); x++ {
+		px := x + shift
+		if px < 0 || px >= len(prev) {
+			continue
+		}
+		total += prev[px] - cur[x]
+	}
+	return total
+}
+
+// halfGuarded: checking only the upper bound leaves the negative case,
+// so the compiler keeps the check and the guard rule must not fire.
+func halfGuarded(prev, cur []float64, shift int) float64 {
+	total := 0.0
+	for x := 0; x < len(cur); x++ {
+		px := x + shift
+		if px >= len(prev) {
+			continue
+		}
+		total += prev[px] // want "bounds check in hot loop is not provably eliminable"
+	}
+	return total
+}
+
+// subslice is clean: p is defined in-region as a three-element window,
+// so constant indices below three and the c < 3 counter are proven by
+// the subslice rule.
+func subslice(pix []float64, w, h, stride int) float64 {
+	total := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := pix[(y*stride+x)*3 : (y*stride+x)*3+3]
+			total += p[0] + p[1] + p[2]
+			for c := 0; c < 3; c++ {
+				total += p[c]
+			}
+		}
+	}
+	return total
+}
+
+// subsliceOver: the constant index equals the window length, and the
+// counter bound exceeds it — both stay unproven.
+func subsliceOver(pix []float64, w, stride int) float64 {
+	total := 0.0
+	for x := 0; x < w; x++ {
+		p := pix[x*stride : x*stride+3]
+		total += p[3] // want "bounds check in hot loop is not provably eliminable"
+		for c := 0; c < 4; c++ {
+			total += p[c] // want "bounds check in hot loop is not provably eliminable"
+		}
+	}
+	return total
+}
+
+// hoistAllowed documents the suppression contract for the sites that
+// stay hot on purpose.
+func hoistAllowed(xs []float64, stride int) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[(i*stride)%len(xs)] //lint:allow bce fixture demonstrates suppression
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module perf/testdata/groundtruth
+
+go 1.24

@@ -1,0 +1,152 @@
+// Package groundtruth is a self-contained module the ground-truth gate
+// test compiles with -gcflags=-d=ssa/check_bce and also runs the bce
+// analyzer over: every site the analyzer reports must appear in the
+// compiler's kept-check output. The package deliberately mixes shapes the
+// compiler eliminates (which bce must stay silent on — a report there is
+// a gate failure, not a style nit) with shapes it keeps (which make the
+// subset assertion non-vacuous even after the kernel sweep drives the
+// real packages clean). Its own go.mod keeps `go build` of the repo from
+// seeing it while giving the test a dependency-free compile target.
+package groundtruth
+
+// RowMajor keeps one IsInBounds per pixel: y*stride+x is opaque to the
+// prove pass. bce must report it.
+func RowMajor(pix []float64, w, h, stride int) float64 {
+	total := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			total += pix[y*stride+x]
+		}
+	}
+	return total
+}
+
+// DataDependent keeps a check on xs[idx[i]]. bce must report it.
+func DataDependent(xs []float64, idx []int) float64 {
+	total := 0.0
+	for i := range idx {
+		total += xs[idx[i]]
+	}
+	return total
+}
+
+// OffsetIndex keeps checks on both xs[i] and xs[i+1] despite the slack
+// condition. bce must report both.
+func OffsetIndex(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(xs); i++ {
+		total += xs[i] + xs[i+1]
+	}
+	return total
+}
+
+// Ranged is fully eliminated; bce must stay silent.
+func Ranged(xs []float64) float64 {
+	total := 0.0
+	for i := range xs {
+		total += xs[i]
+	}
+	return total
+}
+
+// Counter is fully eliminated; bce must stay silent.
+func Counter(xs []float64) float64 {
+	total := 0.0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// HoistedRow is the sweep's row idiom: the slicing keeps one
+// IsSliceInBounds per row (bce does not model slice expressions), and the
+// inner loop is eliminated — bce must stay silent on row[x].
+func HoistedRow(pix []float64, w, h, stride int) float64 {
+	total := 0.0
+	for y := 0; y < h; y++ {
+		row := pix[y*stride : y*stride+w]
+		for x := 0; x < len(row); x++ {
+			total += row[x]
+		}
+	}
+	return total
+}
+
+// HoistAssert is the recommended assertion idiom: the in-loop check is
+// eliminated — bce must stay silent there.
+func HoistAssert(xs []float64, n int) float64 {
+	total := 0.0
+	_ = xs[n-1]
+	for i := 0; i < n; i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// MinClamp is the similarity kernels' prologue: n ≤ len(a) and n ≤ len(b),
+// so both in-loop checks are eliminated — bce must stay silent.
+func MinClamp(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += a[i] * b[i]
+	}
+	return total
+}
+
+// MakeMirror writes through a slice made with the ranged slice's length;
+// the compiler carries the length equality — bce must stay silent.
+func MakeMirror(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * 2
+	}
+	return out
+}
+
+// RepeatAccess pays one kept check on the first pix[i] read; the
+// write-back reuses its bounds fact — bce must stay silent on the second.
+func RepeatAccess(pix []float64, w, h, stride int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*stride + x
+			v := pix[i]
+			pix[i] = v * 0.5
+		}
+	}
+}
+
+// Subslice is the channel-triple idiom: p has known length 3, so the
+// constant indices and the c < 3 counter are all eliminated — bce must
+// stay silent on every p access.
+func Subslice(pix []float64, w, h, stride int) float64 {
+	total := 0.0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := pix[(y*stride+x)*3 : (y*stride+x)*3+3]
+			total += p[0] + p[1] + p[2]
+			for c := 0; c < 3; c++ {
+				total += p[c]
+			}
+		}
+	}
+	return total
+}
+
+// GuardContinue is the shifted-window idiom: the explicit range guard
+// dominates prev[px], so its check is eliminated — bce must stay silent
+// there (cur[x] is counter-proven).
+func GuardContinue(prev, cur []float64, shift int) float64 {
+	total := 0.0
+	for x := 0; x < len(cur); x++ {
+		px := x + shift
+		if px < 0 || px >= len(prev) {
+			continue
+		}
+		total += prev[px] - cur[x]
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+// Package hotalloc exercises the hotalloc analyzer: hot loops must not
+// allocate. The fixture runs in kernel mode, so every function is a hot
+// root — its loops are hot loops, but straight-line code is not.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+func perIterationBuiltins(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]float64, 8) // want "make allocates a slice per hot-loop iteration"
+		seen := make(map[int]int) // want "make allocates a map per hot-loop iteration"
+		ch := make(chan int, 1)   // want "make allocates a channel per hot-loop iteration"
+		p := new(int)             // want "new allocates per hot-loop iteration"
+		total += len(buf) + len(seen) + cap(ch) + *p
+	}
+	return total
+}
+
+func perIterationLiterals(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		xs := []int{i, i + 1} // want "slice literal allocates per hot-loop iteration"
+		m := map[string]int{} // want "map literal allocates per hot-loop iteration"
+		b := &box{v: i}       // want "&composite literal allocates on the heap per hot-loop iteration"
+		total += xs[0] + len(m) + b.v
+	}
+	return total
+}
+
+type box struct{ v int }
+
+func perIterationConversions(words []string, raw [][]byte) int {
+	total := 0
+	for i := range words {
+		bs := []byte(words[i]) // want "conversion copies and allocates per hot-loop iteration"
+		total += len(bs)
+	}
+	for i := range raw {
+		s := string(raw[i]) // want "conversion copies and allocates per hot-loop iteration"
+		total += len(s)
+	}
+	return total
+}
+
+func perIterationBoxing(n int) error {
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			return fmt.Errorf("stopped at %d", i) // want "fmt.Errorf boxes its arguments"
+		}
+		if i < 0 {
+			return errors.New("negative") // want "errors.New boxes its arguments"
+		}
+	}
+	return nil
+}
+
+func perIterationDefer(n int) {
+	for i := 0; i < n; i++ {
+		defer release(i) // want "defer in a hot loop allocates its frame per iteration"
+	}
+}
+
+func release(int) {}
+
+// appendGrowth: appending to a provably capacity-less slice is a
+// per-iteration reallocation; appending into a preallocated one is the
+// fix idiom and stays silent.
+func appendGrowth(xs []float64) ([]int, []int, []float64) {
+	var grown []int
+	empty := []int{}
+	pre := make([]int, 0, len(xs))
+	for i := range xs {
+		grown = append(grown, i) // want "append grows grown from a nil slice"
+		empty = append(empty, i) // want "append grows empty from a nil slice"
+		pre = append(pre, i)
+	}
+	// Reslice-and-refill is the buffer-reuse idiom: the destination was
+	// make-initialized, so append never reallocates.
+	buf := make([]float64, 0, len(xs))
+	for range xs {
+		buf = append(buf[:0], xs...)
+	}
+	return grown, empty, buf
+}
+
+// straightLine is hot (kernel mode) but has no loop: allocation in
+// straight-line code runs once per call, not per iteration, and is fine.
+func straightLine(n int) []float64 {
+	buf := make([]float64, n)
+	_ = fmt.Sprintf("%d", n)
+	return buf
+}
+
+// helper is called from inside perLoopCallee's hot loop, so its whole
+// body — including straight-line allocations — is loop interior.
+func helper(n int) []float64 {
+	return make([]float64, n) // want "make allocates a slice per hot-loop iteration"
+}
+
+func perLoopCallee(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(helper(i))
+	}
+	return total
+}
+
+// allowed documents the directive contract: a justified //lint:allow
+// suppresses the diagnostic, so the line carries no want comment.
+func allowed(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 1) //lint:allow hotalloc fixture demonstrates suppression
+		total += len(buf)
+	}
+	return total
+}

@@ -1,0 +1,98 @@
+// Package hotpar exercises the hot-set roots the worker-pool constructs
+// create: this package is NOT a kernel package, so the only hot code is
+// what par.For / par.Map / par.MapPool closures (and the same-package
+// functions they call) reach. It is the fixture proof that perf's policy
+// follows the parallelism API wherever it is used.
+package hotpar
+
+import "verro/internal/par"
+
+// chunked: a par.For closure runs once per chunk, so its straight-line
+// body is setup code (clean) and only its own loops are hot loops.
+func chunked(xs []float64) {
+	par.For(len(xs), 1, func(lo, hi int) {
+		scratch := make([]float64, 4)
+		for i := lo; i < hi; i++ {
+			tmp := make([]float64, 4) // want "make allocates a slice per hot-loop iteration"
+			xs[i] += tmp[0] + scratch[0]
+		}
+	})
+}
+
+// perElement: a par.Map closure runs once per element, so its whole body
+// is loop interior.
+func perElement(n int) []int {
+	return par.Map(n, 1, func(i int) int {
+		buf := make([]int, 1) // want "make allocates a slice per hot-loop iteration"
+		return buf[0] + i
+	})
+}
+
+// pooled: (par.Pool).For and par.MapPool are the same constructs on an
+// explicit pool.
+func pooled(p *par.Pool, xs []float64) []float64 {
+	p.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = float64(len(make([]byte, 1))) // want "make allocates a slice per hot-loop iteration"
+		}
+	})
+	return par.MapPool(p, len(xs), 1, func(i int) float64 {
+		box := &holder{v: xs[i]} // want "&composite literal allocates on the heap per hot-loop iteration"
+		return box.v
+	})
+}
+
+type holder struct{ v float64 }
+
+// namedBody: a declared function passed to a per-element construct is a
+// hot root with a loop-interior body, same as a literal.
+func namedBody(n int) []int {
+	return par.Map(n, 1, element)
+}
+
+func element(i int) int {
+	buf := make([]int, 1) // want "make allocates a slice per hot-loop iteration"
+	return buf[0] + i
+}
+
+// propagated: a helper called from inside a par closure's hot loop is
+// loop-hot — its whole body is loop interior.
+func propagated(xs []float64) {
+	par.For(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xs[i] = leafAlloc(i)
+		}
+	})
+}
+
+func leafAlloc(i int) float64 {
+	tmp := make([]float64, 1) // want "make allocates a slice per hot-loop iteration"
+	tmp[0] = float64(i)
+	return tmp[0]
+}
+
+// cold: nothing here touches a par construct, and the package is not a
+// kernel, so allocation in an ordinary loop stays silent.
+func cold(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]int, 4)
+		total += len(buf)
+	}
+	return total
+}
+
+// parClosureNotReported: the par closure itself is the sharding
+// boundary, not per-iteration garbage — hotescape must not flag its
+// construction even when the call site sits in a hot loop of a par.Map
+// body.
+func parClosureNotReported(frames [][]float64) {
+	par.Map(len(frames), 1, func(i int) int {
+		par.For(len(frames[i]), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				frames[i][j] = 0
+			}
+		})
+		return i
+	})
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadAndRun loads the fixture directory and runs the floateq analyzer
+// through the package's shared allow index, the setup every StaleAllows
+// test needs: hits recorded, stale directives left over.
+func loadAndRun(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := writeFixture(t, src)
+	pkg, err := NewLoader().Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(pkg, NewFloatEq())
+	return pkg
+}
+
+func TestStaleAllowReported(t *testing.T) {
+	pkg := loadAndRun(t, `package fixture
+
+func live(a, b float64) bool {
+	return a == b //lint:allow floateq still suppressing
+}
+
+func stale(a, b int) bool {
+	return a == b //lint:allow floateq integers never trip floateq
+}
+`)
+	diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true})
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the stale directive reported, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != StaleAllowsName {
+		t.Errorf("analyzer = %q, want %q", d.Analyzer, StaleAllowsName)
+	}
+	if !strings.Contains(d.Message, "//lint:allow floateq no longer suppresses") {
+		t.Errorf("message = %q", d.Message)
+	}
+	if d.Pos.Line != 8 {
+		t.Errorf("reported line %d, want 8 (the stale directive)", d.Pos.Line)
+	}
+}
+
+// TestStaleAllowNextLineScope: a directive above its statement is a hit
+// via the line-below cell and must not be reported.
+func TestStaleAllowNextLineScope(t *testing.T) {
+	pkg := loadAndRun(t, `package fixture
+
+func above(a, b float64) bool {
+	//lint:allow floateq comment-above style
+	return a == b
+}
+`)
+	if diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true}); len(diags) != 0 {
+		t.Fatalf("comment-above directive wrongly stale: %v", diags)
+	}
+}
+
+// TestStaleAllowOutsideRanSkipped: a subset run must not judge another
+// suite's directives.
+func TestStaleAllowOutsideRanSkipped(t *testing.T) {
+	pkg := loadAndRun(t, `package fixture
+
+func f(a, b int) bool {
+	return a == b //lint:allow privleak different suite, not run here
+}
+`)
+	if diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true}); len(diags) != 0 {
+		t.Fatalf("directive outside the ran set wrongly reported: %v", diags)
+	}
+	if diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true, "privleak": true}); len(diags) != 1 {
+		t.Fatalf("directive inside the ran set not reported: %v", diags)
+	}
+}
+
+// TestStaleAllowSelfSuppression: //lint:allow staleallow on the directive
+// line keeps a deliberately speculative allow.
+func TestStaleAllowSelfSuppression(t *testing.T) {
+	pkg := loadAndRun(t, `package fixture
+
+func f(a, b int) bool {
+	return a == b //lint:allow floateq,staleallow kept for a pending float refactor
+}
+`)
+	if diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true}); len(diags) != 0 {
+		t.Fatalf("staleallow self-suppression ignored: %v", diags)
+	}
+}
+
+// TestStaleAllowMultiName: one comma-list directive is judged per
+// analyzer — the hitting name survives, the idle one is stale.
+func TestStaleAllowMultiName(t *testing.T) {
+	pkg := loadAndRun(t, `package fixture
+
+func f(a, b float64) bool {
+	return a == b //lint:allow floateq,detrand only floateq fires here
+}
+`)
+	diags := pkg.Allow().StaleAllows(map[string]bool{"floateq": true, "detrand": true})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "//lint:allow detrand") {
+		t.Fatalf("want exactly the detrand half stale, got %v", diags)
+	}
+}
+
+func TestStaleAllowNilIndex(t *testing.T) {
+	var idx *AllowIndex
+	if diags := idx.StaleAllows(map[string]bool{"floateq": true}); diags != nil {
+		t.Fatalf("nil index must report nothing, got %v", diags)
+	}
+}

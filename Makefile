@@ -9,22 +9,24 @@ GO ?= go
 ## instead of re-type-checking it.
 LINTCACHE ?= .lint-cache
 
-.PHONY: check nightly vet build lint lint-flow lint-absint lint-perf bench-lint fmt-check test test-stream test-server race race-par fuzz fuzz-short bench bench-json bench-hotpath bench-compare clean
+.PHONY: check nightly vet build lint lint-flow lint-absint lint-perf lint-life bench-lint fmt-check test test-stream test-server test-leak race race-par fuzz fuzz-short bench bench-json bench-hotpath bench-compare clean
 
 ## check: the PR CI gate — vet, build, verrolint (classic + flow, baselined),
-## the interval analyzers (-absint), the performance analyzers (-perf),
-## gofmt, the streaming equivalence and memory-ceiling suite, the verrod
-## job-service suite, the targeted worker-pool race gate, and a short fuzz
-## pass over both the .vvf codec and the stream-window planner.
-## Fails on any new lint diagnostic or unformatted file. The full -race
-## suite and the long fuzz/benchmark gates run in `make nightly` so the PR
-## path stays fast.
-check: vet build lint lint-absint lint-perf fmt-check test-stream test-server race-par fuzz-short
+## the interval analyzers (-absint), the performance analyzers (-perf), the
+## lifecycle analyzers (-life), gofmt, the streaming equivalence and
+## memory-ceiling suite, the verrod job-service suite, the targeted
+## worker-pool race gate, and a short fuzz pass over both the .vvf codec and
+## the stream-window planner. Fails on any new lint diagnostic or
+## unformatted file. The full -race suite, the job-churn leak harness, and
+## the long fuzz/benchmark gates run in `make nightly` so the PR path stays
+## fast.
+check: vet build lint lint-absint lint-perf lint-life fmt-check test-stream test-server race-par fuzz-short
 
 ## nightly: the slow gate (see .github/workflows/nightly.yml) — the whole
-## PR gate plus the full race suite, a long fuzz pass on both fuzz targets,
-## and the benchmark regression comparison against the committed
-## BENCH_*.json records.
+## PR gate plus the full race suite (which runs the job-churn leak harness
+## under the race detector), a long fuzz pass on both fuzz targets, and the
+## benchmark regression comparison against the committed BENCH_*.json
+## records.
 nightly: check race
 	$(MAKE) fuzz FUZZTIME=150s
 	$(GO) test -run='^$$' -fuzz=FuzzStreamWindow -fuzztime=150s .
@@ -63,6 +65,13 @@ lint-absint:
 lint-perf:
 	$(GO) run ./cmd/verrolint -classic=false -flow=false -perf -cache $(LINTCACHE) ./...
 
+## lint-life: only the lifecycle analyzers (goleak, mustclose, lockorder,
+## ctxflow — DESIGN.md §2k), scoped to the service-arc packages. No
+## baseline: the tree must sweep clean, with deliberate exceptions carrying
+## justified //lint:allow directives (kept honest by the stale-allow pass).
+lint-life:
+	$(GO) run ./cmd/verrolint -classic=false -flow=false -life -cache $(LINTCACHE) ./...
+
 ## bench-lint: regenerate BENCH_lint.json — wall time of a cold incremental
 ## run (cache populated from scratch) vs. a warm replay of the whole repo
 ## with every suite enabled.
@@ -88,12 +97,24 @@ test-stream:
 	$(GO) test ./internal/stream/ ./internal/vid/
 
 ## test-server: the verrod job-service gate — store round-trip/atomicity,
-## resumable-cursor equivalence, job lifecycle, 429 admission control, SSE
-## monotonic window progress, and the kill-and-resume acceptance test
-## asserting the resumed .vvf is byte-identical to an uninterrupted run's.
+## resumable-cursor equivalence, job lifecycle, 429 admission control +
+## rate limiting, SSE monotonic window progress, event-log eviction, and
+## the kill-and-resume acceptance test asserting the resumed .vvf is
+## byte-identical to an uninterrupted run's. -short skips only the
+## job-churn leak harness, which has its own target below.
 test-server:
 	$(GO) test -run 'TestSanitizeStreamFrom' ./internal/core/
-	$(GO) test ./internal/store/ ./internal/server/
+	$(GO) test -short ./internal/store/ ./internal/server/
+
+## test-leak: the job-churn leak harness (leak_test.go) — 200+ jobs through
+## every lifecycle shape (sequential, slot-saturating concurrent batches,
+## SSE subscribers yanked mid-stream, checkpoint resume re-runs), then
+## asserts goroutines, file descriptors, event logs, and post-GC heap all
+## return to the pre-churn baseline. The runtime complement of
+## `make lint-life`; `make nightly` repeats it under -race via the full
+## race suite.
+test-leak:
+	$(GO) test -run TestChurnNoLeaks -count=1 -v ./internal/server/
 
 race:
 	$(GO) test -race ./...

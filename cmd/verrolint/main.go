@@ -9,7 +9,11 @@
 // nonzero divisors, in-bounds kernel indexing — plus, behind -perf, the
 // hot-path performance suite (internal/lint/perf): no allocations, no
 // escapes, and no uneliminable bounds checks inside the per-frame kernel
-// loops and worker-pool closures.
+// loops and worker-pool closures — plus, behind -life, the lifecycle
+// suite (internal/lint/life): goroutines spawned in the service arc
+// terminate, acquired resources are released on every path, locks are
+// rank-consistent and never held across a park, and request handlers stay
+// cancellable.
 //
 // Every run also reports stale //lint:allow directives: a directive naming
 // an analyzer that ran but suppressed nothing has rotted and must be
@@ -18,7 +22,7 @@
 //
 // Usage:
 //
-//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-perf] [-baseline file] [-cache dir [-bench file]] [pattern ...]
+//	verrolint [-json] [-tests] [-list] [-classic] [-flow] [-absint] [-perf] [-life] [-baseline file] [-cache dir [-bench file]] [pattern ...]
 //
 // Patterns are package directories; a trailing "/..." walks recursively
 // ("./..." is the default). The flow analyzers see every matched package as
@@ -55,6 +59,7 @@ import (
 	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
 	"verro/internal/lint/incr"
+	"verro/internal/lint/life"
 	"verro/internal/lint/perf"
 )
 
@@ -82,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flowOn := fl.Bool("flow", true, "run the dataflow analyzers (privleak, epsconsist, capturerace)")
 	absintOn := fl.Bool("absint", false, "run the interval analyzers (probrange, divzero, idxbound)")
 	perfOn := fl.Bool("perf", false, "run the hot-path performance analyzers (hotalloc, hotescape, bce)")
+	lifeOn := fl.Bool("life", false, "run the lifecycle analyzers (goleak, mustclose, lockorder, ctxflow)")
 	baseline := fl.String("baseline", "", "JSON baseline file (a prior -json run); only diagnostics not in it fail")
 	cache := fl.String("cache", "", "fact-cache directory: analyze incrementally and in parallel, persisting per-package facts")
 	bench := fl.String("bench", "", "with -cache: time a cold then a warm run and write the JSON timing report to this file")
@@ -98,6 +104,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	absintAnalyzers := absint.ProjectAnalyzers()
 	perfAnalyzers := perf.ProjectAnalyzers()
 	bce := perf.NewProjectBCE()
+	lifeAnalyzers := life.ProjectAnalyzers()
+	lifeCfg := life.ProjectConfig()
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
@@ -112,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
 		}
 		fmt.Fprintf(stdout, "%-11s %s\n", bce.Name, bce.Doc)
+		for _, a := range lifeAnalyzers {
+			fmt.Fprintf(stdout, "%-11s %s\n", a.Name, a.Doc)
+		}
 		fmt.Fprintf(stdout, "%-11s %s\n", lint.StaleAllowsName, "//lint:allow directives must still suppress a diagnostic")
 		return 0
 	}
@@ -150,6 +161,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			opts.Absint = append(opts.Absint, bce)
 			opts.Perf = perfAnalyzers
 			opts.PerfCfg = perf.ProjectConfig()
+		}
+		if *lifeOn {
+			opts.Life = lifeAnalyzers
+			opts.LifeCfg = lifeCfg
 		}
 		opts.StaleAllows = true
 		var err error
@@ -195,6 +210,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *perfOn {
 			diags = append(diags, perf.Run(pkgs, perf.ProjectConfig(), perfAnalyzers...)...)
 		}
+		if *lifeOn {
+			diags = append(diags, life.Run(pkgs, lifeCfg, lifeAnalyzers...)...)
+		}
 		// Stale-allow detection runs last so every suite's suppressions
 		// have been recorded against the shared per-package allow index.
 		for _, pkg := range pkgs {
@@ -216,6 +234,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			if *perfOn {
 				for _, a := range perfAnalyzers {
+					ran[a.Name] = true
+				}
+			}
+			if *lifeOn && lifeCfg.Service(pkg.Path) {
+				for _, a := range lifeAnalyzers {
 					ran[a.Name] = true
 				}
 			}

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"verro/internal/lint"
+	"verro/internal/lint/cfg"
 )
 
 // Tuning knobs of the interpreter. widenAfter trades loop precision for
@@ -396,17 +397,17 @@ func (ip *interp) info() *types.Info { return ip.pkg.Info }
 
 // runBody drives the three phases over one lowered body.
 func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
-	c := buildCFG(body)
-	n := len(c.blocks)
+	c := cfg.Build(body)
+	n := len(c.Blocks)
 	in := make([]state, n)
 	out := make([]state, n)
 	visits := make([]int, n)
-	in[c.entry.id] = entry
+	in[c.Entry.ID] = entry
 
 	// Ascending fixpoint with widening.
 	queued := make([]bool, n)
-	wl := []int{c.entry.id}
-	queued[c.entry.id] = true
+	wl := []int{c.Entry.ID}
+	queued[c.Entry.ID] = true
 	steps := 0
 	maxSteps := 64*n + 256
 	for len(wl) > 0 {
@@ -420,15 +421,15 @@ func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
 			continue
 		}
 		st := in[id].clone()
-		ip.execBlock(c.blocks[id], &st)
+		ip.execBlock(c.Blocks[id], &st)
 		out[id] = st
-		for _, ed := range c.blocks[id].succs {
+		for _, ed := range c.Blocks[id].Succs {
 			s2 := st.clone()
 			ip.applyEdge(ed, &s2)
 			if !s2.reach {
 				continue
 			}
-			tgt := ed.to.id
+			tgt := ed.To.ID
 			merged := joinState(in[tgt], s2)
 			if visits[tgt] >= widenAfter {
 				merged = widenState(in[tgt], merged)
@@ -448,13 +449,13 @@ func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
 	// its predecessors' final outputs and claw back infinite bounds the
 	// widening introduced.
 	preds := make([][]edgeFrom, n)
-	for _, b := range c.blocks {
-		for _, ed := range b.succs {
-			preds[ed.to.id] = append(preds[ed.to.id], edgeFrom{from: b.id, e: ed})
+	for _, b := range c.Blocks {
+		for _, ed := range b.Succs {
+			preds[ed.To.ID] = append(preds[ed.To.ID], edgeFrom{from: b.ID, e: ed})
 		}
 	}
 	for id := 0; id < n; id++ {
-		if id != c.entry.id && len(preds[id]) > 0 {
+		if id != c.Entry.ID && len(preds[id]) > 0 {
 			recomputed := state{}
 			for _, pe := range preds[id] {
 				if !out[pe.from].reach {
@@ -471,7 +472,7 @@ func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
 		}
 		if in[id].reach {
 			st := in[id].clone()
-			ip.execBlock(c.blocks[id], &st)
+			ip.execBlock(c.Blocks[id], &st)
 			out[id] = st
 		}
 	}
@@ -484,7 +485,7 @@ func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
 				continue
 			}
 			st := in[id].clone()
-			ip.execBlock(c.blocks[id], &st)
+			ip.execBlock(c.Blocks[id], &st)
 		}
 		ip.reporting = false
 	}
@@ -492,20 +493,20 @@ func (ip *interp) runBody(body *ast.BlockStmt, entry state) {
 
 type edgeFrom struct {
 	from int
-	e    edge
+	e    cfg.Edge
 }
 
 // execBlock runs the block's straight-line statements, then evaluates its
 // terminator condition or return.
-func (ip *interp) execBlock(b *block, st *state) {
-	for _, s := range b.stmts {
+func (ip *interp) execBlock(b *cfg.Block, st *state) {
+	for _, s := range b.Stmts {
 		ip.execStmt(s, st)
 	}
-	if b.cond != nil {
-		ip.eval(b.cond, st)
+	if b.Cond != nil {
+		ip.eval(b.Cond, st)
 	}
-	if b.ret != nil {
-		ip.execReturn(b.ret, st)
+	if b.Ret != nil {
+		ip.execReturn(b.Ret, st)
 	}
 }
 
@@ -1419,16 +1420,16 @@ func (ip *interp) havocCaptured(lit *ast.FuncLit, st *state) {
 // ---------------------------------------------------------------------
 // Edges and refinement
 
-func (ip *interp) applyEdge(e edge, st *state) {
-	switch e.kind {
-	case edgeCondTrue:
-		ip.refine(st, e.cond, true)
-	case edgeCondFalse:
-		ip.refine(st, e.cond, false)
-	case edgeCase:
-		ip.refineCase(st, e.tag, e.vals)
-	case edgeRangeBody:
-		ip.bindRange(st, e.rng)
+func (ip *interp) applyEdge(e cfg.Edge, st *state) {
+	switch e.Kind {
+	case cfg.CondTrue:
+		ip.refine(st, e.Cond, true)
+	case cfg.CondFalse:
+		ip.refine(st, e.Cond, false)
+	case cfg.Case:
+		ip.refineCase(st, e.Tag, e.Vals)
+	case cfg.RangeBody:
+		ip.bindRange(st, e.Rng)
 	}
 }
 

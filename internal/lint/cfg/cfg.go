@@ -1,70 +1,77 @@
-package absint
+// Package cfg lowers Go function bodies into basic-block control-flow
+// graphs for the analysis suites. It was extracted from the interval
+// abstract interpreter (internal/lint/absint) when the lifecycle suite
+// (internal/lint/life) became its second consumer: the interval engine
+// interprets block bodies and edge refinements, the lifecycle analyzers
+// run path-sensitive must-release and held-lock dataflow over the same
+// blocks and edges.
+//
+// Every function body becomes a list of basic blocks holding only
+// straight-line statements (assignments, declarations, expression
+// statements, inc/dec, go/defer); control flow — if, for, range, switch,
+// select, return, break/continue/goto — becomes edges. A consumer never
+// sees a control statement; it executes block bodies and applies edge
+// refinements. Goroutine bodies contribute no edges (a `go` statement's
+// call is checked where it appears, but its execution is not sequenced
+// into the CFG).
+package cfg
 
 import (
 	"go/ast"
 	"go/token"
 )
 
-// The CFG lowering: every function body becomes a list of basic blocks
-// holding only straight-line statements (assignments, declarations,
-// expression statements, inc/dec, go/defer); control flow — if, for,
-// range, switch, select, return, break/continue/goto — becomes edges. The
-// interpreter never sees a control statement; it executes block bodies
-// and applies edge refinements. Goroutine bodies contribute no edges (a
-// `go` statement's call is checked where it appears, but its execution is
-// not sequenced into the CFG).
-
-// edgeKind distinguishes how an edge constrains the target state.
-type edgeKind int
+// EdgeKind distinguishes how an edge constrains the target state.
+type EdgeKind int
 
 const (
-	edgePlain     edgeKind = iota
-	edgeCondTrue           // taken when cond is true: refine with cond
-	edgeCondFalse          // taken when cond is false: refine with ¬cond
-	edgeCase               // switch case match: tag ∈ join(vals)
-	edgeRangeBody          // entering a range body: bind key/value
+	Plain     EdgeKind = iota
+	CondTrue           // taken when cond is true: refine with cond
+	CondFalse          // taken when cond is false: refine with ¬cond
+	Case               // switch case match: tag ∈ join(vals)
+	RangeBody          // entering a range body: bind key/value
 )
 
-// edge is one CFG arc with its refinement payload.
-type edge struct {
-	to   *block
-	kind edgeKind
-	cond ast.Expr       // edgeCondTrue / edgeCondFalse
-	tag  ast.Expr       // edgeCase (nil for tagless switch)
-	vals []ast.Expr     // edgeCase
-	rng  *ast.RangeStmt // edgeRangeBody
+// Edge is one CFG arc with its refinement payload.
+type Edge struct {
+	To   *Block
+	Kind EdgeKind
+	Cond ast.Expr       // CondTrue / CondFalse
+	Tag  ast.Expr       // Case (nil for tagless switch)
+	Vals []ast.Expr     // Case
+	Rng  *ast.RangeStmt // RangeBody
 }
 
-// block is one basic block.
-type block struct {
-	id    int
-	stmts []ast.Stmt
-	// ret, when non-nil, terminates the function through this block.
-	ret *ast.ReturnStmt
-	// cond, when non-nil, is evaluated after stmts; succs then carry
-	// edgeCondTrue/edgeCondFalse refinements on it.
-	cond  ast.Expr
-	succs []edge
+// Block is one basic block.
+type Block struct {
+	ID    int
+	Stmts []ast.Stmt
+	// Ret, when non-nil, terminates the function through this block.
+	Ret *ast.ReturnStmt
+	// Cond, when non-nil, is evaluated after Stmts; Succs then carry
+	// CondTrue/CondFalse refinements on it.
+	Cond  ast.Expr
+	Succs []Edge
 }
 
-// cfg is one lowered function body.
-type cfg struct {
-	blocks []*block
-	entry  *block
+// Graph is one lowered function body.
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
 }
 
 // loopFrame tracks the jump targets of one enclosing loop or switch.
 type loopFrame struct {
 	label          string
-	breakTarget    *block
-	continueTarget *block // nil for switch/select frames
+	breakTarget    *Block
+	continueTarget *Block // nil for switch/select frames
 }
 
-type cfgBuilder struct {
-	blocks []*block
+type builder struct {
+	blocks []*Block
 	frames []loopFrame
 	// labels maps label names to started blocks for goto resolution.
-	labels map[string]*block
+	labels map[string]*Block
 	// gotos records unresolved goto edges (source block, label).
 	gotos []pendingGoto
 	// pendingLabel is attached to the next loop/switch frame pushed.
@@ -72,44 +79,44 @@ type cfgBuilder struct {
 }
 
 type pendingGoto struct {
-	from  *block
+	from  *Block
 	label string
 }
 
-func (b *cfgBuilder) newBlock() *block {
-	bl := &block{id: len(b.blocks)}
+func (b *builder) newBlock() *Block {
+	bl := &Block{ID: len(b.blocks)}
 	b.blocks = append(b.blocks, bl)
 	return bl
 }
 
-func (b *cfgBuilder) link(from, to *block, e edge) {
-	e.to = to
-	from.succs = append(from.succs, e)
+func (b *builder) link(from, to *Block, e Edge) {
+	e.To = to
+	from.Succs = append(from.Succs, e)
 }
 
-// buildCFG lowers the body of a function (or function literal).
-func buildCFG(body *ast.BlockStmt) *cfg {
-	b := &cfgBuilder{labels: map[string]*block{}}
+// Build lowers the body of a function (or function literal).
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{labels: map[string]*Block{}}
 	entry := b.newBlock()
 	last := b.stmtList(body.List, entry)
 	_ = last // falling off the end returns with zero results; no edge needed
 	for _, g := range b.gotos {
 		if target, ok := b.labels[g.label]; ok {
-			b.link(g.from, target, edge{})
+			b.link(g.from, target, Edge{})
 		}
 	}
-	return &cfg{blocks: b.blocks, entry: entry}
+	return &Graph{Blocks: b.blocks, Entry: entry}
 }
 
 // stmtList lowers a statement sequence starting in cur, returning the
 // block where control continues (nil when the sequence cannot fall
 // through).
-func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *block) *block {
+func (b *builder) stmtList(list []ast.Stmt, cur *Block) *Block {
 	for _, s := range list {
 		if cur == nil {
 			// Unreachable statements after return/break; lower them into a
-			// fresh block with no predecessors so the interpreter records
-			// them as dead rather than silently skipping.
+			// fresh block with no predecessors so consumers record them as
+			// dead rather than silently skipping.
 			cur = b.newBlock()
 		}
 		cur = b.stmt(s, cur)
@@ -117,88 +124,88 @@ func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *block) *block {
 	return cur
 }
 
-func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
+func (b *builder) stmt(s ast.Stmt, cur *Block) *Block {
 	switch s := s.(type) {
 	case *ast.BlockStmt:
 		return b.stmtList(s.List, cur)
 
 	case *ast.IfStmt:
 		if s.Init != nil {
-			cur.stmts = append(cur.stmts, s.Init)
+			cur.Stmts = append(cur.Stmts, s.Init)
 		}
-		cur.cond = s.Cond
+		cur.Cond = s.Cond
 		thenB := b.newBlock()
-		b.link(cur, thenB, edge{kind: edgeCondTrue, cond: s.Cond})
+		b.link(cur, thenB, Edge{Kind: CondTrue, Cond: s.Cond})
 		thenEnd := b.stmtList(s.Body.List, thenB)
 		join := b.newBlock()
 		if s.Else != nil {
 			elseB := b.newBlock()
-			b.link(cur, elseB, edge{kind: edgeCondFalse, cond: s.Cond})
+			b.link(cur, elseB, Edge{Kind: CondFalse, Cond: s.Cond})
 			if elseEnd := b.stmt(s.Else, elseB); elseEnd != nil {
-				b.link(elseEnd, join, edge{})
+				b.link(elseEnd, join, Edge{})
 			}
 		} else {
-			b.link(cur, join, edge{kind: edgeCondFalse, cond: s.Cond})
+			b.link(cur, join, Edge{Kind: CondFalse, Cond: s.Cond})
 		}
 		if thenEnd != nil {
-			b.link(thenEnd, join, edge{})
+			b.link(thenEnd, join, Edge{})
 		}
 		return join
 
 	case *ast.ForStmt:
 		if s.Init != nil {
-			cur.stmts = append(cur.stmts, s.Init)
+			cur.Stmts = append(cur.Stmts, s.Init)
 		}
 		head := b.newBlock()
-		b.link(cur, head, edge{})
+		b.link(cur, head, Edge{})
 		exit := b.newBlock()
 		body := b.newBlock()
 		post := b.newBlock()
 		if s.Cond != nil {
-			head.cond = s.Cond
-			b.link(head, body, edge{kind: edgeCondTrue, cond: s.Cond})
-			b.link(head, exit, edge{kind: edgeCondFalse, cond: s.Cond})
+			head.Cond = s.Cond
+			b.link(head, body, Edge{Kind: CondTrue, Cond: s.Cond})
+			b.link(head, exit, Edge{Kind: CondFalse, Cond: s.Cond})
 		} else {
-			b.link(head, body, edge{})
+			b.link(head, body, Edge{})
 		}
 		b.pushFrame(exit, post)
 		bodyEnd := b.stmtList(s.Body.List, body)
 		b.popFrame()
 		if bodyEnd != nil {
-			b.link(bodyEnd, post, edge{})
+			b.link(bodyEnd, post, Edge{})
 		}
 		if s.Post != nil {
-			post.stmts = append(post.stmts, s.Post)
+			post.Stmts = append(post.Stmts, s.Post)
 		}
-		b.link(post, head, edge{})
+		b.link(post, head, Edge{})
 		return exit
 
 	case *ast.RangeStmt:
 		// Evaluate the range container once on entry so hooks see it.
-		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.X})
+		cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.X})
 		head := b.newBlock()
-		b.link(cur, head, edge{})
+		b.link(cur, head, Edge{})
 		exit := b.newBlock()
 		body := b.newBlock()
-		b.link(head, body, edge{kind: edgeRangeBody, rng: s})
-		b.link(head, exit, edge{})
+		b.link(head, body, Edge{Kind: RangeBody, Rng: s})
+		b.link(head, exit, Edge{})
 		b.pushFrame(exit, head)
 		if bodyEnd := b.stmtList(s.Body.List, body); bodyEnd != nil {
-			b.link(bodyEnd, head, edge{})
+			b.link(bodyEnd, head, Edge{})
 		}
 		b.popFrame()
 		return exit
 
 	case *ast.SwitchStmt:
 		if s.Init != nil {
-			cur.stmts = append(cur.stmts, s.Init)
+			cur.Stmts = append(cur.Stmts, s.Init)
 		}
 		if s.Tag != nil {
-			cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Tag})
+			cur.Stmts = append(cur.Stmts, &ast.ExprStmt{X: s.Tag})
 		}
 		exit := b.newBlock()
 		b.pushSwitchFrame(exit)
-		var caseBodies []*block
+		var caseBodies []*Block
 		var hasDefault bool
 		for range s.Body.List {
 			caseBodies = append(caseBodies, b.newBlock())
@@ -216,48 +223,48 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 				hasDefault = true
 				defaultIdx = i
 				if s.Tag != nil {
-					b.link(cur, caseBodies[i], edge{})
+					b.link(cur, caseBodies[i], Edge{})
 				}
 			case s.Tag != nil:
-				b.link(cur, caseBodies[i], edge{kind: edgeCase, tag: s.Tag, vals: cc.List})
+				b.link(cur, caseBodies[i], Edge{Kind: Case, Tag: s.Tag, Vals: cc.List})
 			case len(cc.List) == 1:
-				dispatch.stmts = append(dispatch.stmts, &ast.ExprStmt{X: cc.List[0]})
+				dispatch.Stmts = append(dispatch.Stmts, &ast.ExprStmt{X: cc.List[0]})
 				next := b.newBlock()
-				b.link(dispatch, caseBodies[i], edge{kind: edgeCondTrue, cond: cc.List[0]})
-				b.link(dispatch, next, edge{kind: edgeCondFalse, cond: cc.List[0]})
+				b.link(dispatch, caseBodies[i], Edge{Kind: CondTrue, Cond: cc.List[0]})
+				b.link(dispatch, next, Edge{Kind: CondFalse, Cond: cc.List[0]})
 				dispatch = next
 			default:
 				// Multiple boolean expressions in one case: their
 				// disjunction (and its negation) is not tracked.
 				for _, v := range cc.List {
-					dispatch.stmts = append(dispatch.stmts, &ast.ExprStmt{X: v})
+					dispatch.Stmts = append(dispatch.Stmts, &ast.ExprStmt{X: v})
 				}
 				next := b.newBlock()
-				b.link(dispatch, caseBodies[i], edge{})
-				b.link(dispatch, next, edge{})
+				b.link(dispatch, caseBodies[i], Edge{})
+				b.link(dispatch, next, Edge{})
 				dispatch = next
 			}
 			end := b.stmtListFallthrough(cc.Body, caseBodies[i], caseBodies, i)
 			if end != nil {
-				b.link(end, exit, edge{})
+				b.link(end, exit, Edge{})
 			}
 		}
 		b.popFrame()
 		if s.Tag == nil {
 			// End of the chain: every case condition was false.
 			if defaultIdx >= 0 {
-				b.link(dispatch, caseBodies[defaultIdx], edge{})
+				b.link(dispatch, caseBodies[defaultIdx], Edge{})
 			} else {
-				b.link(dispatch, exit, edge{})
+				b.link(dispatch, exit, Edge{})
 			}
 		} else if !hasDefault {
-			b.link(cur, exit, edge{})
+			b.link(cur, exit, Edge{})
 		}
 		return exit
 
 	case *ast.TypeSwitchStmt:
 		if s.Init != nil {
-			cur.stmts = append(cur.stmts, s.Init)
+			cur.Stmts = append(cur.Stmts, s.Init)
 		}
 		exit := b.newBlock()
 		b.pushSwitchFrame(exit)
@@ -268,14 +275,14 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 				hasDefault = true
 			}
 			body := b.newBlock()
-			b.link(cur, body, edge{})
+			b.link(cur, body, Edge{})
 			if end := b.stmtList(cc.Body, body); end != nil {
-				b.link(end, exit, edge{})
+				b.link(end, exit, Edge{})
 			}
 		}
 		b.popFrame()
 		if !hasDefault {
-			b.link(cur, exit, edge{})
+			b.link(cur, exit, Edge{})
 		}
 		return exit
 
@@ -285,19 +292,19 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 		for _, cc := range s.Body.List {
 			cc := cc.(*ast.CommClause)
 			body := b.newBlock()
-			b.link(cur, body, edge{})
+			b.link(cur, body, Edge{})
 			if cc.Comm != nil {
-				body.stmts = append(body.stmts, cc.Comm)
+				body.Stmts = append(body.Stmts, cc.Comm)
 			}
 			if end := b.stmtList(cc.Body, body); end != nil {
-				b.link(end, exit, edge{})
+				b.link(end, exit, Edge{})
 			}
 		}
 		b.popFrame()
 		return exit
 
 	case *ast.ReturnStmt:
-		cur.ret = s
+		cur.Ret = s
 		return nil
 
 	case *ast.BranchStmt:
@@ -308,12 +315,12 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 		switch s.Tok {
 		case token.BREAK:
 			if t := b.findBreak(label); t != nil {
-				b.link(cur, t, edge{})
+				b.link(cur, t, Edge{})
 			}
 			return nil
 		case token.CONTINUE:
 			if t := b.findContinue(label); t != nil {
-				b.link(cur, t, edge{})
+				b.link(cur, t, Edge{})
 			}
 			return nil
 		case token.GOTO:
@@ -328,7 +335,7 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 
 	case *ast.LabeledStmt:
 		target := b.newBlock()
-		b.link(cur, target, edge{})
+		b.link(cur, target, Edge{})
 		b.labels[s.Label.Name] = target
 		b.pendingLabel = s.Label.Name
 		out := b.stmt(s.Stmt, target)
@@ -341,11 +348,11 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 	default:
 		// Straight-line statement: assign, decl, inc/dec, expr, send,
 		// go, defer.
-		cur.stmts = append(cur.stmts, s)
+		cur.Stmts = append(cur.Stmts, s)
 		// A statement that provably never returns (panic, os.Exit) ends
 		// the block with no fallthrough, so guards like
 		// `if n == 0 { panic(...) }` refine the code below them.
-		if es, ok := s.(*ast.ExprStmt); ok && isNoReturnCall(es.X) {
+		if es, ok := s.(*ast.ExprStmt); ok && IsNoReturnCall(es.X) {
 			return nil
 		}
 		return cur
@@ -354,12 +361,12 @@ func (b *cfgBuilder) stmt(s ast.Stmt, cur *block) *block {
 
 // stmtListFallthrough lowers a case body, wiring a trailing fallthrough to
 // the next case's body block.
-func (b *cfgBuilder) stmtListFallthrough(list []ast.Stmt, cur *block, bodies []*block, i int) *block {
+func (b *builder) stmtListFallthrough(list []ast.Stmt, cur *Block, bodies []*Block, i int) *Block {
 	if n := len(list); n > 0 {
 		if br, ok := list[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
 			end := b.stmtList(list[:n-1], cur)
 			if end != nil && i+1 < len(bodies) {
-				b.link(end, bodies[i+1], edge{})
+				b.link(end, bodies[i+1], Edge{})
 			}
 			return nil
 		}
@@ -367,10 +374,10 @@ func (b *cfgBuilder) stmtListFallthrough(list []ast.Stmt, cur *block, bodies []*
 	return b.stmtList(list, cur)
 }
 
-// isNoReturnCall recognizes calls that terminate the goroutine: panic and
+// IsNoReturnCall recognizes calls that terminate the goroutine: panic and
 // os.Exit. (log.Fatal would qualify too; the repo's lint rules forbid it
 // in pipeline code.)
-func isNoReturnCall(e ast.Expr) bool {
+func IsNoReturnCall(e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
@@ -394,19 +401,19 @@ func isNoReturnCall(e ast.Expr) bool {
 	return false
 }
 
-func (b *cfgBuilder) pushFrame(breakT, contT *block) {
+func (b *builder) pushFrame(breakT, contT *Block) {
 	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTarget: breakT, continueTarget: contT})
 	b.pendingLabel = ""
 }
 
-func (b *cfgBuilder) pushSwitchFrame(breakT *block) {
+func (b *builder) pushSwitchFrame(breakT *Block) {
 	b.frames = append(b.frames, loopFrame{label: b.pendingLabel, breakTarget: breakT})
 	b.pendingLabel = ""
 }
 
-func (b *cfgBuilder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
+func (b *builder) popFrame() { b.frames = b.frames[:len(b.frames)-1] }
 
-func (b *cfgBuilder) findBreak(label string) *block {
+func (b *builder) findBreak(label string) *Block {
 	for i := len(b.frames) - 1; i >= 0; i-- {
 		f := b.frames[i]
 		if label == "" || f.label == label {
@@ -416,7 +423,7 @@ func (b *cfgBuilder) findBreak(label string) *block {
 	return nil
 }
 
-func (b *cfgBuilder) findContinue(label string) *block {
+func (b *builder) findContinue(label string) *Block {
 	for i := len(b.frames) - 1; i >= 0; i-- {
 		f := b.frames[i]
 		if f.continueTarget == nil {

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func lower(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return Build(fn.Body)
+}
+
+// reachable walks the graph from the entry and returns the visited set.
+func reachable(g *Graph) map[int]bool {
+	seen := map[int]bool{}
+	var visit func(b *Block)
+	visit = func(b *Block) {
+		if seen[b.ID] {
+			return
+		}
+		seen[b.ID] = true
+		for _, e := range b.Succs {
+			visit(e.To)
+		}
+	}
+	visit(g.Entry)
+	return seen
+}
+
+func TestBuildIfElseJoins(t *testing.T) {
+	g := lower(t, "x := 1\nif x > 0 {\n x = 2\n} else {\n x = 3\n}\n_ = x")
+	var trueEdges, falseEdges int
+	for _, b := range g.Blocks {
+		for _, e := range b.Succs {
+			switch e.Kind {
+			case CondTrue:
+				trueEdges++
+				if e.Cond == nil {
+					t.Error("CondTrue edge without cond expr")
+				}
+			case CondFalse:
+				falseEdges++
+			}
+		}
+	}
+	if trueEdges != 1 || falseEdges != 1 {
+		t.Errorf("if lowering: got %d true / %d false edges, want 1/1", trueEdges, falseEdges)
+	}
+}
+
+func TestBuildForLoopBackEdge(t *testing.T) {
+	g := lower(t, "for i := 0; i < 3; i++ {\n _ = i\n}")
+	// The post block must loop back to the head: some block is its own
+	// ancestor through a back edge.
+	reach := reachable(g)
+	var hasCycle bool
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for _, e := range b.Succs {
+			if e.To.ID <= b.ID && reach[e.To.ID] {
+				hasCycle = true
+			}
+		}
+	}
+	if !hasCycle {
+		t.Error("for lowering produced no back edge")
+	}
+}
+
+func TestBuildReturnTerminates(t *testing.T) {
+	g := lower(t, "return")
+	var rets int
+	for _, b := range g.Blocks {
+		if b.Ret != nil {
+			rets++
+			if len(b.Succs) != 0 {
+				t.Error("return block has successors")
+			}
+		}
+	}
+	if rets != 1 {
+		t.Errorf("got %d return blocks, want 1", rets)
+	}
+}
+
+func TestBuildSelectOneBlockPerClause(t *testing.T) {
+	g := lower(t, "ch := make(chan int)\nselect {\ncase <-ch:\n _ = 1\ncase ch <- 2:\n}")
+	// Each comm clause's block carries its comm statement first.
+	var commBlocks int
+	for _, b := range g.Blocks {
+		if len(b.Stmts) == 0 {
+			continue
+		}
+		switch b.Stmts[0].(type) {
+		case *ast.ExprStmt, *ast.SendStmt:
+			// Comm statements are receives (ExprStmt/AssignStmt) or sends.
+			commBlocks++
+		}
+	}
+	if commBlocks < 2 {
+		t.Errorf("select lowering: %d comm-carrying blocks, want >= 2", commBlocks)
+	}
+}
+
+func TestBuildPanicEndsBlock(t *testing.T) {
+	g := lower(t, "x := 1\nif x == 0 {\n panic(\"no\")\n}\n_ = x")
+	// The panic block must not fall through to the join.
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			if es, ok := s.(*ast.ExprStmt); ok && IsNoReturnCall(es.X) {
+				if len(b.Succs) != 0 {
+					t.Error("panic block has successors")
+				}
+			}
+		}
+	}
+	if !IsNoReturnCall(mustParseExpr(t, `os.Exit(1)`)) {
+		t.Error("os.Exit not recognized as no-return")
+	}
+	if IsNoReturnCall(mustParseExpr(t, `fmt.Println(1)`)) {
+		t.Error("fmt.Println wrongly recognized as no-return")
+	}
+}
+
+func mustParseExpr(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := parser.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse expr: %v", err)
+	}
+	return e
+}

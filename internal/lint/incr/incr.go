@@ -42,6 +42,7 @@ import (
 	"verro/internal/lint"
 	"verro/internal/lint/absint"
 	"verro/internal/lint/flow"
+	"verro/internal/lint/life"
 	"verro/internal/lint/perf"
 	"verro/internal/par"
 )
@@ -75,6 +76,11 @@ type Options struct {
 	// analyzer rides Absint — the driver appends it there).
 	Perf    []*perf.Analyzer
 	PerfCfg *perf.Config
+	// Life runs the lifecycle suite against LifeCfg's service policy.
+	// Summaries are computed (and cached) for every package; diagnostics
+	// are confined to LifeCfg's service packages.
+	Life    []*life.Analyzer
+	LifeCfg *life.Config
 	// StaleAllows, when true, reports //lint:allow directives that no
 	// suite in this run used, after every suite has reported. The
 	// effective analyzer set is part of the version hash, so cached
@@ -126,6 +132,9 @@ type entry struct {
 	Flow map[string]map[string]*flow.Summary `json:"flow,omitempty"`
 	// Absint maps function name → result intervals (analyzer-independent).
 	Absint map[string][]ivRec `json:"absint,omitempty"`
+	// Life maps function name → lifecycle summary (suite-shared: every
+	// life analyzer reads the same converged table).
+	Life map[string]*life.Summary `json:"life,omitempty"`
 }
 
 // diagRec is one cached diagnostic. File is the basename within the
@@ -332,6 +341,17 @@ func analyzeNode(n *node, opts Options, version string) *entry {
 	if len(opts.Perf) > 0 {
 		diags = append(diags, perf.AnalyzePackage(n.pkg, opts.PerfCfg, opts.Perf)...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
 	}
+	if len(opts.Life) > 0 {
+		deps := map[string]*life.Summary{} //lint:allow hotalloc per-package task: one dependency map per package analysis
+		for _, m := range n.closure {
+			for name, s := range m.entry.Life {
+				deps[name] = s
+			}
+		}
+		sums, ds := life.AnalyzePackage(n.pkg, opts.LifeCfg, deps, opts.Life...)
+		e.Life = sums
+		diags = append(diags, ds...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
+	}
 	if opts.StaleAllows {
 		diags = append(diags, n.pkg.Allow().StaleAllows(ranNames(opts, n.pkg.Path))...) //lint:allow hotalloc per-package task: diagnostics accumulate once per package
 	}
@@ -368,6 +388,11 @@ func ranNames(opts Options, pkgPath string) map[string]bool {
 	}
 	for _, a := range opts.Perf {
 		ran[a.Name] = true
+	}
+	for _, a := range opts.Life {
+		if opts.LifeCfg != nil && opts.LifeCfg.Service(pkgPath) {
+			ran[a.Name] = true
+		}
 	}
 	return ran
 }
@@ -597,12 +622,17 @@ func versionHash(opts Options, modRoot string) string {
 	for _, a := range opts.Perf {
 		fmt.Fprintf(h, "perf:%s:%s\n", a.Name, a.Doc)
 	}
+	for _, a := range opts.Life {
+		fmt.Fprintf(h, "life:%s:%s\n", a.Name, a.Doc)
+	}
 	if modRoot != "" {
 		for _, rel := range []string{
 			"internal/lint",
 			"internal/lint/absint",
+			"internal/lint/cfg",
 			"internal/lint/flow",
 			"internal/lint/incr",
+			"internal/lint/life",
 			"internal/lint/perf",
 			"cmd/verrolint",
 		} {

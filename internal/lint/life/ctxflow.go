@@ -1,0 +1,212 @@
+package life
+
+// ctxflow: request handlers must stay cancellable. The roots are
+// functions (and literals) taking a *net/http.Request; everything they
+// reach through same-package calls is request scope. Inside request
+// scope:
+//
+//   - context.Background()/context.TODO() sever the request's
+//     cancellation chain and are findings;
+//   - time.Sleep cannot be interrupted and is a finding;
+//   - a select with neither a default nor a cancellation case
+//     (<-ctx.Done(), <-time.After(...), a timer/ticker .C) can park a
+//     request forever, as can a bare channel send or a bare receive from
+//     anything but a cancellation source.
+//
+// Goroutine bodies spawned from handlers are excluded — they outlive the
+// request by design and goleak owns their termination story. sync.Cond
+// waits are also excluded: condition variables encode their own wake
+// protocol (verrod's event logs pair Wait with a context-driven waker
+// goroutine), which this shape check cannot see.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewCtxFlow builds the request-cancellation analyzer.
+func NewCtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "request-scope code must remain cancellable through the request context",
+		run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *pass) {
+	// Index the package's named functions, then BFS request scope from
+	// the handler roots.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range p.pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[normName(obj)] = fd
+			}
+		}
+	}
+
+	seen := map[string]bool{}
+	var queue []string
+	enqueue := func(name string) {
+		if _, ok := decls[name]; ok && !seen[name] {
+			seen[name] = true
+			queue = append(queue, name)
+		}
+	}
+
+	for _, name := range sortedNames(decls) {
+		if hasRequestParam(p, decls[name].Type) {
+			enqueue(name)
+		}
+	}
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && hasRequestParam(p, lit.Type) {
+				scanRequestScope(p, lit.Body, enqueue)
+				return false
+			}
+			return true
+		})
+	}
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		scanRequestScope(p, decls[name].Body, enqueue)
+	}
+}
+
+// hasRequestParam reports whether the signature takes a *net/http.Request.
+func hasRequestParam(p *pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, f := range ft.Params.List {
+		t := p.pkg.Info.TypeOf(f.Type)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		if n, ok := ptr.Elem().(*types.Named); ok {
+			obj := n.Obj()
+			if obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanRequestScope walks one request-scope body, reporting uncancellable
+// shapes and enqueueing same-package callees.
+func scanRequestScope(p *pass, body *ast.BlockStmt, enqueue func(string)) {
+	// Channel operations appearing as select comm operands are judged as
+	// part of their select, not as bare sends/receives.
+	commOp := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			comm := cc.(*ast.CommClause).Comm
+			if comm == nil {
+				continue
+			}
+			ast.Inspect(comm, func(c ast.Node) bool {
+				switch u := c.(type) {
+				case *ast.UnaryExpr:
+					if u.Op == token.ARROW {
+						commOp[u] = true
+					}
+				case *ast.SendStmt:
+					commOp[u] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false
+
+		case *ast.SelectStmt:
+			if !selectCancellable(p, x) {
+				p.reportf(x.Pos(), "select in request scope has no default and no cancellation case; the request cannot be cancelled here")
+			}
+			return true
+
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !commOp[x] && !cancellableRecv(p, x.X) {
+				p.reportf(x.Pos(), "channel receive in request scope has no cancellation path; select on the request context too")
+			}
+			return true
+
+		case *ast.SendStmt:
+			if !commOp[x] {
+				p.reportf(x.Pos(), "channel send in request scope has no cancellation path; select on the request context too")
+			}
+			return true
+
+		case *ast.CallExpr:
+			switch name := calleeName(p.pkg.Info, x); name {
+			case "context.Background", "context.TODO":
+				p.reportf(x.Pos(), "%s in request scope severs cancellation; derive the context from the request", shortName(name))
+			case "time.Sleep":
+				p.reportf(x.Pos(), "time.Sleep in request scope cannot be cancelled; select on the request context instead")
+			default:
+				enqueue(name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// selectCancellable reports whether a select can always make progress or
+// be cancelled: a default clause, or a receive from a cancellation
+// source in some clause.
+func selectCancellable(p *pass, sel *ast.SelectStmt) bool {
+	for _, cc := range sel.Body.List {
+		clause := cc.(*ast.CommClause)
+		if clause.Comm == nil {
+			return true
+		}
+		cancellable := false
+		ast.Inspect(clause.Comm, func(c ast.Node) bool {
+			if u, ok := c.(*ast.UnaryExpr); ok && u.Op == token.ARROW && cancellableRecv(p, u.X) {
+				cancellable = true
+			}
+			return true
+		})
+		if cancellable {
+			return true
+		}
+	}
+	return false
+}
+
+// cancellableRecv reports whether a receive operand is a cancellation
+// source: ctx.Done(), time.After(...), or a timer/ticker .C field.
+func cancellableRecv(p *pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if s, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+			return true
+		}
+		return calleeName(p.pkg.Info, x) == "time.After"
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "C"
+	}
+	return false
+}

@@ -1,0 +1,371 @@
+package life
+
+// lockorder: lock discipline for the service arc. Three invariants:
+//
+//  1. No self-deadlock: a lock is never reacquired while already held
+//     (sync.Mutex is not reentrant), directly or through a callee whose
+//     summary says it takes the same lock.
+//  2. No park under a lock: while any lock is held, the goroutine must
+//     not execute a channel send/receive, a select without default, a
+//     WaitGroup/blocking call, or a callee that may park. This is the
+//     SSE-fanout-under-mutex shape: one slow subscriber wedges every
+//     request that needs the registry lock.
+//  3. Consistent order: if lock A is ever held while B is acquired, no
+//     path may acquire B then A. Rank edges are collected per acquisition
+//     over converged held-sets and checked for cycles package-wide.
+//     Only global locks (field mutexes keyed by owning type, and
+//     package-level mutexes) carry rank; function-local mutexes
+//     participate in held-set tracking only.
+//
+// sync.Cond.Wait is exempt from rule 2: it releases its lock while
+// parked — that is its contract. Deferred unlocks do not clear the
+// held-set (they run at exit), which is precisely what makes the
+// lock-then-defer-unlock handler body visible to rule 2.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"verro/internal/lint/cfg"
+)
+
+// NewLockOrder builds the lock-discipline analyzer.
+func NewLockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "locks are acquired in a consistent order and never held across a blocking operation",
+		run:  runLockOrder,
+	}
+}
+
+// orderGraph accumulates held→acquired rank edges across one package.
+type orderGraph struct {
+	edges map[string]map[string]token.Pos
+}
+
+func (g *orderGraph) add(held, acquired string, pos token.Pos) {
+	if g.edges[held] == nil {
+		g.edges[held] = map[string]token.Pos{}
+	}
+	if _, ok := g.edges[held][acquired]; !ok {
+		g.edges[held][acquired] = pos
+	}
+}
+
+// reaches reports whether the rank graph has a path from→to.
+func (g *orderGraph) reaches(from, to string) bool {
+	seen := map[string]bool{}
+	var dfs func(string) bool
+	dfs = func(n string) bool {
+		if n == to {
+			return true
+		}
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, next := range sortedNames(g.edges[n]) {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+func runLockOrder(p *pass) {
+	g := &orderGraph{edges: map[string]map[string]token.Pos{}}
+	for _, f := range p.pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				analyzeLockOrder(p, fd.Body, g)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				analyzeLockOrder(p, lit.Body, g)
+			}
+			return true
+		})
+	}
+
+	// Package-wide inversion check over the collected rank edges.
+	seenPair := map[string]bool{}
+	for _, a := range sortedNames(g.edges) {
+		for _, b := range sortedNames(g.edges[a]) {
+			if seenPair[a+"|"+b] {
+				continue
+			}
+			if g.reaches(b, a) {
+				seenPair[a+"|"+b] = true
+				seenPair[b+"|"+a] = true
+				p.reportf(g.edges[a][b], "lock %s acquired while holding %s, but the opposite order also occurs (lock-order inversion)", shortName(b), shortName(a))
+			}
+		}
+	}
+}
+
+// heldState maps held lock IDs to their acquisition positions.
+type heldState struct {
+	reach bool
+	held  map[string]token.Pos
+}
+
+func (s heldState) clone() heldState {
+	held := make(map[string]token.Pos, len(s.held))
+	for k, v := range s.held {
+		held[k] = v
+	}
+	return heldState{reach: s.reach, held: held}
+}
+
+// joinHeld unions: held on any incoming path means held (may-analysis —
+// a park under a sometimes-held lock is still a park under a lock).
+func joinHeld(a, b heldState) heldState {
+	if !a.reach {
+		return b.clone()
+	}
+	out := a.clone()
+	for k, pos := range b.held {
+		if have, ok := out.held[k]; !ok || pos < have {
+			out.held[k] = pos
+		}
+	}
+	return out
+}
+
+func eqHeld(a, b heldState) bool {
+	if a.reach != b.reach || len(a.held) != len(b.held) {
+		return false
+	}
+	for k, v := range a.held {
+		if o, ok := b.held[k]; !ok || o != v {
+			return false
+		}
+	}
+	return true
+}
+
+// locker drives one body's analysis.
+type locker struct {
+	p           *pass
+	g           *orderGraph
+	report      bool
+	commOf      map[ast.Stmt]*ast.SelectStmt
+	hasDefault  map[*ast.SelectStmt]bool
+	reportedSel map[token.Pos]bool
+}
+
+func analyzeLockOrder(p *pass, body *ast.BlockStmt, g *orderGraph) {
+	m := &locker{
+		p:           p,
+		g:           g,
+		commOf:      map[ast.Stmt]*ast.SelectStmt{},
+		hasDefault:  map[*ast.SelectStmt]bool{},
+		reportedSel: map[token.Pos]bool{},
+	}
+	// Map select comm statements back to their selects so the lowered CFG
+	// (one block per clause, comm prepended) reports a park once per
+	// select, not once per channel operand.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // literals are analyzed as their own bodies
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			clause := cc.(*ast.CommClause)
+			if clause.Comm == nil {
+				m.hasDefault[sel] = true
+			} else {
+				m.commOf[clause.Comm] = sel
+			}
+		}
+		return true
+	})
+
+	grf := cfg.Build(body)
+	n := len(grf.Blocks)
+	in := make([]heldState, n)
+	in[grf.Entry.ID] = heldState{reach: true, held: map[string]token.Pos{}}
+
+	queued := make([]bool, n)
+	wl := []int{grf.Entry.ID}
+	queued[grf.Entry.ID] = true
+	steps, maxSteps := 0, 64*n+256
+	for len(wl) > 0 {
+		if steps++; steps > maxSteps {
+			break
+		}
+		id := wl[0]
+		wl = wl[1:]
+		queued[id] = false
+		if !in[id].reach {
+			continue
+		}
+		st := in[id].clone()
+		m.execBlock(grf.Blocks[id], &st)
+		for _, ed := range grf.Blocks[id].Succs {
+			tgt := ed.To.ID
+			merged := joinHeld(in[tgt], st)
+			if !eqHeld(merged, in[tgt]) {
+				in[tgt] = merged
+				if !queued[tgt] {
+					wl = append(wl, tgt)
+					queued[tgt] = true
+				}
+			}
+		}
+	}
+
+	// Reporting sweep over the converged states, in block order.
+	m.report = true
+	for id := 0; id < n; id++ {
+		if !in[id].reach {
+			continue
+		}
+		st := in[id].clone()
+		m.execBlock(grf.Blocks[id], &st)
+	}
+}
+
+// holding names one held lock for a diagnostic: the sorted-first ID.
+func holding(held map[string]token.Pos) string {
+	return shortName(sortedNames(held)[0])
+}
+
+// globalLock reports whether a lock ID from lockIdent is comparable
+// across functions: field mutexes ("(pkg.Type).mu") and package-level
+// mutexes ("pkg/path.name"). Local names never carry rank.
+func globalLock(id string) bool {
+	return strings.HasPrefix(id, "(") || strings.Contains(id, "/")
+}
+
+func (m *locker) execBlock(b *cfg.Block, st *heldState) {
+	for _, s := range b.Stmts {
+		m.stmt(s, st)
+	}
+}
+
+func (m *locker) stmt(s ast.Stmt, st *heldState) {
+	// Select comm statements park as a unit: report once per select,
+	// only when every clause can block (no default).
+	if sel, ok := m.commOf[s]; ok {
+		if len(st.held) > 0 && !m.hasDefault[sel] && m.report && !m.reportedSel[sel.Pos()] {
+			m.reportedSel[sel.Pos()] = true
+			m.p.reportf(sel.Pos(), "select without default while holding %s may park the goroutine under the lock", holding(st.held))
+		}
+		return
+	}
+
+	switch s := s.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Spawned and deferred work does not run at this program point.
+		return
+	case *ast.SendStmt:
+		if len(st.held) > 0 && m.report {
+			m.p.reportf(s.Pos(), "channel send while holding %s may park the goroutine under the lock", holding(st.held))
+		}
+		return
+	case *ast.SelectStmt:
+		// The clauses arrive as their own blocks; nothing to do here.
+		return
+	}
+
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && len(st.held) > 0 && m.report {
+				m.p.reportf(x.Pos(), "channel receive while holding %s may park the goroutine under the lock", holding(st.held))
+			}
+			return true
+		case *ast.SendStmt:
+			if len(st.held) > 0 && m.report {
+				m.p.reportf(x.Pos(), "channel send while holding %s may park the goroutine under the lock", holding(st.held))
+			}
+			return true
+		case *ast.CallExpr:
+			m.call(x, st)
+			return true
+		}
+		return true
+	})
+}
+
+// call folds one call into the held-set, emitting rank edges and
+// park-under-lock diagnostics.
+func (m *locker) call(call *ast.CallExpr, st *heldState) {
+	name := calleeName(m.p.pkg.Info, call)
+	if name == "" {
+		return
+	}
+
+	if op, ok := mutexOp(name); ok {
+		sel, selOK := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !selOK {
+			return
+		}
+		id, global := lockIdent(m.p.pkg, sel.X)
+		switch op {
+		case "Lock", "RLock":
+			if _, already := st.held[id]; already {
+				if m.report {
+					m.p.reportf(call.Pos(), "lock %s acquired while already held (self-deadlock: sync mutexes are not reentrant)", shortName(id))
+				}
+				return
+			}
+			if global && m.report {
+				for h := range st.held {
+					if globalLock(h) {
+						m.g.add(h, id, call.Pos())
+					}
+				}
+			}
+			st.held[id] = call.Pos()
+		case "Unlock", "RUnlock":
+			delete(st.held, id)
+		}
+		return
+	}
+
+	if len(st.held) == 0 {
+		return
+	}
+
+	// Cond.Wait releases its lock while parked; that is its contract.
+	if name == "(sync.Cond).Wait" {
+		return
+	}
+
+	blocks := m.p.cfg.Blocking[name] || name == "(sync.WaitGroup).Wait"
+	sum := m.p.look(name)
+	if sum != nil && sum.Blocks {
+		blocks = true
+	}
+	if blocks && m.report {
+		m.p.reportf(call.Pos(), "call to %s may block while holding %s", shortName(name), holding(st.held))
+	}
+	if sum != nil {
+		for _, l := range sum.Locks {
+			if _, already := st.held[l]; already {
+				if m.report {
+					m.p.reportf(call.Pos(), "call to %s acquires %s, which is already held (self-deadlock)", shortName(name), shortName(l))
+				}
+				continue
+			}
+			if m.report {
+				for h := range st.held {
+					if globalLock(h) {
+						m.g.add(h, l, call.Pos())
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package ctxflow is the fixture for the request-cancellation analyzer:
+// handler-reachable code must not sever the request context or park on
+// channels with no cancellation path.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type srv struct {
+	jobs chan string
+}
+
+// Handle severs cancellation twice and reaches park through a helper.
+func (s *srv) Handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want "context.Background in request scope severs cancellation"
+	_ = ctx
+	time.Sleep(time.Millisecond) // want "time.Sleep in request scope cannot be cancelled"
+	s.park(r)
+}
+
+// park is request scope by reachability (and by its own request param).
+func (s *srv) park(r *http.Request) {
+	v := <-s.jobs // want "channel receive in request scope has no cancellation path"
+	_ = v
+	s.jobs <- r.URL.Path // want "channel send in request scope has no cancellation path"
+	select {             // want "select in request scope has no default and no cancellation case"
+	case v := <-s.jobs:
+		_ = v
+	}
+}
+
+// OK shows the accepted shapes: a Done case makes the wait cancellable,
+// a default makes the send non-blocking.
+func (s *srv) OK(w http.ResponseWriter, r *http.Request) {
+	select {
+	case v := <-s.jobs:
+		_ = v
+	case <-r.Context().Done():
+	}
+	select {
+	case s.jobs <- r.URL.Path:
+	default:
+	}
+}
+
+// notRequestScope is unreachable from any handler; its bare receive is
+// not a finding.
+func notRequestScope(c chan int) int {
+	return <-c
+}
+
+var _ = notRequestScope

@@ -1,0 +1,72 @@
+// Package goleak is the fixture for the goleak analyzer: goroutines with
+// no provable termination path are findings; return, labeled break,
+// close-signaled range, and no-return calls are accepted evidence.
+package goleak
+
+import "time"
+
+func spin() {
+	for {
+	}
+}
+
+// Leak spawns a named callee whose converged summary diverges.
+func Leak() {
+	go spin() // want "goroutine never terminates: .*spin contains an unconditional loop"
+}
+
+// LeakLit is the classic shape: the break exits the select, not the loop.
+func LeakLit(done chan struct{}) {
+	go func() {
+		for { // want "goroutine never terminates: unconditional loop with no return, break, or close-signaled exit"
+			select {
+			case <-done:
+				break
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// OKReturn terminates through the done case.
+func OKReturn(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// OKRange terminates when the channel is closed.
+func OKRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// OKLabeled terminates through the labeled break.
+func OKLabeled(done chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-done:
+				break loop
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+}
+
+// OKCond loops under an explicit condition; bounded by assumption.
+func OKCond(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}

@@ -1,0 +1,115 @@
+// Package lockorder is the fixture for the lock-discipline analyzer:
+// self-deadlocks, parks under a held lock, and package-wide lock-order
+// inversions.
+package lockorder
+
+import "sync"
+
+var a sync.Mutex
+var b sync.Mutex
+
+type reg struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// SelfDeadlock reacquires a held, non-reentrant mutex.
+func SelfDeadlock() {
+	a.Lock()
+	a.Lock() // want "acquired while already held"
+	a.Unlock()
+	a.Unlock()
+}
+
+// InversionAB takes a then b; InversionBA takes b then a. One edge of
+// the cycle is reported, at the first acquisition in rank order.
+func InversionAB() {
+	a.Lock()
+	b.Lock() // want "opposite order also occurs"
+	b.Unlock()
+	a.Unlock()
+}
+
+func InversionBA() {
+	b.Lock()
+	a.Lock()
+	a.Unlock()
+	b.Unlock()
+}
+
+func lockA() {
+	a.Lock()
+	a.Unlock()
+}
+
+// NestedSelf deadlocks through a callee whose summary takes the lock.
+func NestedSelf() {
+	a.Lock()
+	lockA() // want "already held"
+	a.Unlock()
+}
+
+// Publish is the SSE-fanout shape: an unbuffered send to a subscriber
+// while holding the registry lock wedges every caller of the registry.
+func (r *reg) Publish(v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ch := range r.subs {
+		ch <- v // want "channel send while holding"
+	}
+}
+
+// WaitUnder parks on a WaitGroup while holding the lock.
+func (r *reg) WaitUnder(wg *sync.WaitGroup) {
+	r.mu.Lock()
+	wg.Wait() // want "may block while holding"
+	r.mu.Unlock()
+}
+
+// ParkSelect selects with no default while holding the lock.
+func (r *reg) ParkSelect(ch chan int, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want "select without default while holding"
+	case ch <- v:
+	}
+}
+
+// OKTrySend is the fix: the default clause makes the send non-blocking.
+func (r *reg) OKTrySend(ch chan int, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case ch <- v:
+	default:
+	}
+}
+
+// OKSnapshot copies under the lock and sends after releasing it.
+func (r *reg) OKSnapshot(v int) {
+	r.mu.Lock()
+	subs := append([]chan int(nil), r.subs...)
+	r.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}
+
+// OKNested takes a then b everywhere else too: consistent order, no
+// report.
+var c sync.Mutex
+var d sync.Mutex
+
+func OKNested() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}
+
+func OKNestedAgain() {
+	c.Lock()
+	d.Lock()
+	d.Unlock()
+	c.Unlock()
+}

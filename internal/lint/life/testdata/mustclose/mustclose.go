@@ -1,0 +1,112 @@
+// Package mustclose is the fixture for the must-release analyzer:
+// acquires must be closed, deferred, or ownership-transferred on every
+// CFG path; error branches kill the obligation on the failure path.
+package mustclose
+
+import (
+	"context"
+	"os"
+)
+
+type holder struct {
+	f *os.File
+}
+
+// Leak closes on one path but returns early on another.
+func Leak(path string) error {
+	f, err := os.Open(path) // want "file from os.Open is not released on every path"
+	if err != nil {
+		return err
+	}
+	if len(path) > 7 {
+		return nil
+	}
+	f.Close()
+	return nil
+}
+
+// Discard throws the handle away at the acquire site.
+func Discard(path string) {
+	_, _ = os.Open(path) // want "file from os.Open is discarded"
+}
+
+// Overwrite drops the first handle by rebinding its only variable.
+func Overwrite(a, b string) {
+	f, _ := os.Open(a) // want "file from os.Open is overwritten while still unreleased"
+	f, _ = os.Open(b)
+	f.Close()
+}
+
+// LeakCancel calls cancel on one path only.
+func LeakCancel(ctx context.Context, cond bool) {
+	_, cancel := context.WithCancel(ctx) // want "cancel func from context.WithCancel is not called on every path"
+	if cond {
+		cancel()
+	}
+}
+
+// OKDefer is the idiom: acquire, check the error, defer the release.
+func OKDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nil
+}
+
+// OKCancel defers the cancel at the acquire site.
+func OKCancel(parent context.Context) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	return ctx
+}
+
+// OKTransfer moves the handle into a returned struct.
+func OKTransfer(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+func take(f *os.File) {
+	f.Close()
+}
+
+// OKHandoff passes the handle to a callee whose summary owns it.
+func OKHandoff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	take(f)
+	return nil
+}
+
+// OKNilCheck releases only on the non-nil path; the nil edge kills the
+// obligation.
+func OKNilCheck(path string) {
+	f, _ := os.Open(path)
+	if f != nil {
+		f.Close()
+	}
+}
+
+// OKCheckedClose is the atomic-write idiom: the release happens in an
+// if-init assignment so its error can be checked.
+func OKCheckedClose(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -9,10 +9,12 @@ import (
 // eventLog is the per-job buffer between a trace's observer callback and any
 // number of SSE subscribers. The observer appends synchronously from
 // pipeline goroutines; subscribers replay the history from any cursor and
-// then block on the condition variable for more. The log is kept for the
-// life of the process even after the job finishes, so a client connecting
-// after completion still receives the full progress history followed by the
-// terminal event.
+// then block on the condition variable for more. When the job reaches a
+// terminal state the runner closes the log and evicts it from the server's
+// registry (finishJob), so the registry stays bounded under job churn;
+// subscribers attached at that point drain the history they hold a pointer
+// to, and later subscribers get a transient closed log rebuilt from the
+// manifest — the terminal event, without the progress history.
 type eventLog struct {
 	mu     sync.Mutex
 	cond   *sync.Cond

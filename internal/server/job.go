@@ -61,7 +61,7 @@ func (s *Server) runJob(m *store.Manifest) {
 			m.Error = fmt.Sprintf("%v (and saving the failure: %v)", err, serr)
 		}
 	}
-	l.close(m.State, m.Error)
+	s.finishJob(m, l)
 }
 
 // process runs the pipeline for one job, resuming from the manifest's

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"verro/internal/store"
+)
+
+// logCount reads the event-log registry size under the server's lock.
+func logCount(s *Server) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.logs)
+}
+
+// TestEventLogsEvictedOnTerminalState is the regression test for the
+// registry leak the lifecycle sweep surfaced: before finishJob, every job
+// left its eventLog — the job's entire progress history — in Server.logs
+// for the life of the process, so memory grew linearly under job churn.
+// Successful and failed jobs must both evict their logs once terminal.
+func TestEventLogsEvictedOnTerminalState(t *testing.T) {
+	input, tracksCSV := fixture(t, t.TempDir())
+	srv, ts := newTestServer(t, t.TempDir(), 2)
+
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		// One job that succeeds and one that fails fast (bogus tracks path
+		// passes admission; LoadTracks fails inside the runner).
+		good, code := postJob(t, ts, jobRequest{Input: input, Tracks: tracksCSV, Seed: int64(i + 1), Window: 9})
+		if code != http.StatusAccepted {
+			t.Fatalf("round %d: POST good job = %d", i, code)
+		}
+		bad, code := postJob(t, ts, jobRequest{Input: input, Tracks: tracksCSV + ".missing", Window: 9})
+		if code != http.StatusAccepted {
+			t.Fatalf("round %d: POST bad job = %d", i, code)
+		}
+		srv.Wait()
+		if n := logCount(srv); n != 0 {
+			t.Fatalf("round %d: %d event logs still registered after all jobs finished", i, n)
+		}
+		for id, want := range map[string]string{good.ID: string(store.StateDone), bad.ID: string(store.StateFailed)} {
+			m, code := getManifest(t, ts, id)
+			if code != http.StatusOK || string(m.State) != want {
+				t.Fatalf("round %d: job %s state = %v (code %d), want %s", i, id, m, code, want)
+			}
+		}
+	}
+}
+
+// TestEventsAfterEvictionStillTerminate: a subscriber connecting after the
+// job's log has been evicted must still receive a correct terminal end
+// event (served from the manifest), and must not re-register a log that
+// nothing would ever evict again.
+func TestEventsAfterEvictionStillTerminate(t *testing.T) {
+	input, tracksCSV := fixture(t, t.TempDir())
+	srv, ts := newTestServer(t, t.TempDir(), 1)
+	m, code := postJob(t, ts, jobRequest{Input: input, Tracks: tracksCSV, Window: 9})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST = %d", code)
+	}
+	srv.Wait()
+	if n := logCount(srv); n != 0 {
+		t.Fatalf("%d event logs registered after the job finished", n)
+	}
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/jobs/" + m.ID + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		events := readSSE(t, resp.Body)
+		resp.Body.Close()
+		end := events[len(events)-1]
+		if end.event != "end" || !strings.Contains(end.data, `"done"`) {
+			t.Fatalf("subscriber %d terminal event: %+v", i, end)
+		}
+		if n := logCount(srv); n != 0 {
+			t.Fatalf("subscriber %d re-registered an event log (%d in registry)", i, n)
+		}
+	}
+}

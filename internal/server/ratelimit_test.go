@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"verro/internal/store"
+)
+
+// fakeClock is a hand-advanced clock so limiter tests never sleep.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	rl := newRateLimiter(1, 3, clk.now) // 1 token/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := rl.allow("a"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := rl.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if retry != time.Second {
+		t.Fatalf("retryAfter = %v, want 1s (empty bucket, 1 token/s)", retry)
+	}
+
+	// A different client has its own bucket.
+	if ok, _ := rl.allow("b"); !ok {
+		t.Fatal("fresh client denied while another is throttled")
+	}
+
+	// Half a second accrues half a token — still denied, shorter wait.
+	clk.advance(500 * time.Millisecond)
+	if ok, retry = rl.allow("a"); ok || retry != time.Second {
+		t.Fatalf("after 0.5s: ok=%v retry=%v, want denied with ceil(0.5s)=1s", ok, retry)
+	}
+	clk.advance(500 * time.Millisecond)
+	if ok, _ = rl.allow("a"); !ok {
+		t.Fatal("token accrued after a full second but request denied")
+	}
+	// The bucket never overfills past burst: after a long idle stretch the
+	// client gets exactly burst tokens, not rate*idle.
+	clk.advance(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := rl.allow("a"); ok {
+			granted++
+		}
+	}
+	if granted != 3 {
+		t.Fatalf("after long idle, %d requests granted, want burst=3", granted)
+	}
+}
+
+// TestRateLimiterBucketBound: the per-client map cannot grow past
+// maxBuckets, idle buckets are swept first, and an actively-throttled
+// client survives the sweep.
+func TestRateLimiterBucketBound(t *testing.T) {
+	clk := newFakeClock()
+	rl := newRateLimiter(1, 1, clk.now)
+
+	rl.allow("hot") // drained: holds real throttle state
+	for i := 0; i < maxBuckets+64; i++ {
+		rl.allow(fmt.Sprintf("client-%d", i))
+		clk.advance(2 * time.Second) // each previous bucket refills to burst
+	}
+	rl.mu.Lock()
+	n := len(rl.buckets)
+	rl.mu.Unlock()
+	if n > maxBuckets {
+		t.Fatalf("bucket map grew to %d, bound is %d", n, maxBuckets)
+	}
+	// An evicted client only ever becomes more permissive: its next request
+	// opens a fresh bucket at burst rather than resuming a penalty.
+	if ok, _ := rl.allow("hot"); !ok {
+		t.Fatal("returning client denied; a fresh bucket must open at burst")
+	}
+}
+
+func TestNewRequiresClockWithRate(t *testing.T) {
+	fs, err := store.NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Store: fs, Rate: 2}); err == nil {
+		t.Fatal("New accepted Rate > 0 without a Now clock")
+	}
+	if _, err := New(Config{Store: fs, Rate: 2, Now: newFakeClock().now}); err != nil {
+		t.Fatalf("New rejected a valid rate config: %v", err)
+	}
+}
+
+// TestSubmitRateLimited drives the HTTP edge: a client inside its burst gets
+// normal admission handling, the one past it gets 429 with Retry-After —
+// before the body is read, so even malformed submissions spend a token.
+func TestSubmitRateLimited(t *testing.T) {
+	fs, err := store.NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	srv, err := New(Config{Store: fs, MaxJobs: 1, Rate: 1, Burst: 2, Now: clk.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func() *http.Response {
+		t.Helper()
+		// Malformed body: admission fails with 400, which still spends a
+		// token — the limiter meters attempts, not successes.
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader("{"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	for i := 0; i < 2; i++ {
+		if resp := post(); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("burst request %d = %d, want 400 (past the limiter, failing admission)", i, resp.StatusCode)
+		}
+	}
+	resp := post()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate request = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	clk.advance(time.Second)
+	if resp := post(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("after refill = %d, want 400 again", resp.StatusCode)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"sync"
+	"time"
 
 	"verro"
 	"verro/internal/store"
@@ -46,6 +47,19 @@ type Config struct {
 	// Workers is the per-job pool size for jobs that do not set one
 	// (0 = the process-wide default).
 	Workers int
+	// Rate, when positive, throttles POST /jobs to this many submissions
+	// per second per client address (token bucket of depth Burst);
+	// 0 disables rate limiting. Requires Now.
+	Rate float64
+	// Burst is the token-bucket depth when Rate is on (minimum 1): how many
+	// submissions a quiet client may burst before the per-second rate
+	// applies.
+	Burst int
+	// Now supplies the rate limiter's clock; required when Rate > 0. It is
+	// injected rather than defaulted so this package stays clear of the
+	// walltime lint — time.Now is reserved for internal/obs and
+	// internal/par, and the daemon passes it in at the edge.
+	Now func() time.Time
 }
 
 // Server is the verrod job service.
@@ -55,6 +69,8 @@ type Server struct {
 	// sem holds one token per running job; admission is a non-blocking send.
 	sem chan struct{}
 	wg  sync.WaitGroup
+	// limiter throttles POST /jobs per client address; nil when Rate is 0.
+	limiter *rateLimiter
 
 	mu     sync.Mutex
 	nextID int
@@ -85,6 +101,12 @@ func New(cfg Config) (*Server, error) {
 		cfg:  cfg,
 		sem:  make(chan struct{}, cfg.MaxJobs),
 		logs: make(map[string]*eventLog),
+	}
+	if cfg.Rate > 0 {
+		if cfg.Now == nil {
+			return nil, fmt.Errorf("server: Rate requires a Now clock")
+		}
+		s.limiter = newRateLimiter(cfg.Rate, cfg.Burst, cfg.Now)
 	}
 	ms, err := cfg.Store.List()
 	if err != nil {
@@ -149,6 +171,58 @@ func (s *Server) log(id string) *eventLog {
 	return l
 }
 
+// finishJob closes the job's event log with its terminal state and evicts it
+// from the registry. Subscribers already attached hold the log pointer and
+// drain the full history; subscribers arriving later are served a transient
+// log reconstructed from the manifest (the terminal event survives, the
+// progress history does not). Without the eviction the registry grows by one
+// log — holding the job's entire event history — per job for the life of the
+// process.
+func (s *Server) finishJob(m *store.Manifest, l *eventLog) {
+	l.close(m.State, m.Error)
+	s.mu.Lock()
+	delete(s.logs, m.ID)
+	s.mu.Unlock()
+}
+
+// subscribeLog returns the event log an /events subscriber should drain for
+// the manifest it loaded. Live jobs share the runner's registered log.
+// Finished jobs get whatever log still lives in the registry, or a transient
+// closed one reconstructed from the manifest — re-registering it would
+// strand an entry no runner will ever evict again.
+func (s *Server) subscribeLog(m *store.Manifest) *eventLog {
+	done := m.State == store.StateDone || m.State == store.StateFailed
+	s.mu.Lock()
+	l, ok := s.logs[m.ID]
+	if !ok {
+		l = newEventLog()
+		if !done {
+			s.logs[m.ID] = l
+		}
+	}
+	s.mu.Unlock()
+	if done {
+		// The job finished (possibly in a previous process, with its live
+		// log lost); make sure this log terminates for subscribers.
+		l.close(m.State, m.Error)
+		return l
+	}
+	if !ok {
+		// We registered a fresh log for what the loaded manifest called a
+		// live job. If the job finished between that load and the
+		// registration, its runner has already evicted its own log and will
+		// never close or evict ours — re-read the state and clean up. (A
+		// genuinely live job cannot hit this: its runner registers the log
+		// before any terminal save, so the lookup above would have found
+		// it.)
+		if cur, err := s.cfg.Store.Load(m.ID); err == nil &&
+			(cur.State == store.StateDone || cur.State == store.StateFailed) {
+			s.finishJob(cur, l)
+		}
+	}
+	return l
+}
+
 // allocID hands out the next sequential job ID. Sequential (not random) IDs
 // keep the service deterministic and lint-clean: no global randomness, and
 // listings sort in submission order.
@@ -198,6 +272,17 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 // persist the manifest, and start the runner. The input's geometry is
 // probed before the manifest is written so resume logic never has to guess.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// The rate check comes before the body is touched: a throttled client
+	// gets its 429 without costing the server upload staging or a geometry
+	// probe, and without briefly occupying a worker slot.
+	if s.limiter != nil {
+		if ok, retry := s.limiter.allow(clientKey(r.RemoteAddr)); !ok {
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(retry/time.Second), 10))
+			writeError(w, http.StatusTooManyRequests,
+				"rate limit exceeded for %s; retry in %s", clientKey(r.RemoteAddr), retry)
+			return
+		}
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -207,7 +292,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := s.admit(r)
 	if err != nil {
-		<-s.sem
+		<-s.sem //lint:allow ctxflow releasing the slot this handler pushed above; the buffered channel holds our own token, so the receive cannot park
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -409,12 +494,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	l := s.log(m.ID)
-	if m.State == store.StateDone || m.State == store.StateFailed {
-		// The job finished (possibly in a previous process, with the live
-		// log lost); make sure this log terminates for subscribers.
-		l.close(m.State, m.Error)
-	}
+	l := s.subscribeLog(m)
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
